@@ -1,0 +1,127 @@
+// ablation_policy_engine: demonstrates the paper's §VII future work —
+// policy-driven dynamic reconfiguration — by re-running two of the paper's
+// pathological configurations *with the policy engine enabled* and showing
+// that the rules converge toward the manually remediated configurations:
+//
+//   C1 (5 ESs, starved handler pool)  + handler_autoscale  ~> C2-like
+//   C5 (batch 1, backed-up OFI queue) + adaptive_max_events ~> C6-like
+#include "bench/common.hpp"
+#include "margolite/policy.hpp"
+#include "workloads/hepnos_world.hpp"
+
+using namespace bench;
+namespace margo = sym::margo;
+
+namespace {
+
+struct Outcome {
+  sim::DurationNs makespan = 0;
+  std::vector<margo::PolicyAction> actions;
+  unsigned final_es = 0;
+  std::size_t final_max_events = 0;
+};
+
+/// C1-like starvation with the autoscale policy on every server.
+Outcome run_autoscale(bool with_policy) {
+  auto params = hepnos_params(sym::workloads::table4_c1(), 2048);
+  sym::workloads::HepnosWorld world(params);
+  std::vector<std::unique_ptr<margo::PolicyEngine>> engines;
+  if (with_policy) {
+    for (std::size_t s = 0; s < world.server_count(); ++s) {
+      auto e = std::make_unique<margo::PolicyEngine>(
+          world.server_instance(s), sim::usec(200));
+      e->add_rule("autoscale", margo::PolicyEngine::handler_autoscale(
+                                   /*backlog_per_es=*/3.0,
+                                   /*consecutive=*/2, /*max_es=*/24));
+      engines.push_back(std::move(e));
+    }
+    // Instances are started inside world.run(); arm the policy engines via
+    // a t=0 engine event so their monitor ULTs spawn right after.
+    world.engine().at(0, [&engines] {
+      for (auto& e : engines) e->start();
+    });
+  }
+  world.run();
+
+  Outcome out;
+  out.makespan = world.makespan();
+  for (auto& e : engines) {
+    for (const auto& a : e->actions()) out.actions.push_back(a);
+  }
+  out.final_es = world.server_instance(0).handler_es_count();
+  return out;
+}
+
+/// C5-like OFI backlog with the adaptive max_events policy on each client.
+Outcome run_adaptive(bool with_policy) {
+  auto params = hepnos_params(sym::workloads::table4_c5(), 2048);
+  sym::workloads::HepnosWorld world(params);
+  std::vector<std::unique_ptr<margo::PolicyEngine>> engines;
+  if (with_policy) {
+    for (std::size_t c = 0; c < world.client_count(); ++c) {
+      auto e = std::make_unique<margo::PolicyEngine>(
+          world.client_instance(c), sim::usec(200));
+      e->add_rule("adaptive_max_events",
+                  margo::PolicyEngine::adaptive_max_events(
+                      /*consecutive=*/2, /*cap=*/128));
+      engines.push_back(std::move(e));
+    }
+    world.engine().at(0, [&engines] {
+      for (auto& e : engines) e->start();
+    });
+  }
+  world.run();
+
+  Outcome out;
+  out.makespan = world.makespan();
+  for (auto& e : engines) {
+    for (const auto& a : e->actions()) out.actions.push_back(a);
+  }
+  out.final_max_events =
+      world.client_instance(0).hg_class().config().max_events;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Policy-driven dynamic reconfiguration (paper future work, §VII)",
+      "automates the manual C1->C2 and C5->C6 remediations of §V-C");
+
+  std::printf("--- handler_autoscale on C1 (5 ESs) ---\n");
+  const auto base1 = run_autoscale(false);
+  const auto pol1 = run_autoscale(true);
+  std::printf("without policy: makespan %8.3f ms (5 ESs throughout)\n",
+              sim::to_millis(base1.makespan));
+  std::printf("with policy:    makespan %8.3f ms, final ES count %u, "
+              "%zu actions\n",
+              sim::to_millis(pol1.makespan), pol1.final_es,
+              pol1.actions.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, pol1.actions.size());
+       ++i) {
+    std::printf("    [%7.3f ms] %s\n", sim::to_millis(pol1.actions[i].at),
+                pol1.actions[i].description.c_str());
+  }
+  std::printf("improvement: %.1f%%\n\n",
+              100.0 *
+                  (static_cast<double>(base1.makespan) -
+                   static_cast<double>(pol1.makespan)) /
+                  static_cast<double>(base1.makespan));
+
+  std::printf("--- adaptive_max_events on C5 (batch 1) ---\n");
+  const auto base2 = run_adaptive(false);
+  const auto pol2 = run_adaptive(true);
+  std::printf("without policy: makespan %8.3f ms (OFI_max_events 16)\n",
+              sim::to_millis(base2.makespan));
+  std::printf("with policy:    makespan %8.3f ms, final OFI_max_events %zu, "
+              "%zu actions\n",
+              sim::to_millis(pol2.makespan), pol2.final_max_events,
+              pol2.actions.size());
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, pol2.actions.size());
+       ++i) {
+    std::printf("    [%7.3f ms] %s\n", sim::to_millis(pol2.actions[i].at),
+                pol2.actions[i].description.c_str());
+  }
+  return 0;
+}

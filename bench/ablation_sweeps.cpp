@@ -1,0 +1,124 @@
+// ablation_sweeps: parameter sweeps over the design choices DESIGN.md calls
+// out, complementing the paper's point configurations:
+//
+//   1. eager-buffer threshold sweep (Sonata store_multi): where does the
+//      internal-RDMA overflow path start to pay off?
+//   2. SDSKV backend comparison under the HEPnOS write workload
+//      (map vs leveldb-sim vs bdb-sim, paper §V-C backend choices).
+//   3. data-loader pipeline depth sweep for the batch-1 pathology (C5).
+#include <string>
+
+#include "bench/common.hpp"
+#include "margolite/instance.hpp"
+#include "services/sonata/sonata.hpp"
+#include "workloads/hepnos_world.hpp"
+
+using namespace bench;
+namespace margo = sym::margo;
+namespace sonata = sym::sonata;
+namespace ofi = sym::ofi;
+
+namespace {
+
+// --- 1. eager threshold sweep ----------------------------------------------
+
+sim::DurationNs run_sonata_with_eager_limit(std::size_t eager_limit) {
+  sim::Engine eng(42);
+  sim::Cluster cluster(eng, sim::ClusterParams{.node_count = 2});
+  ofi::Fabric fabric(cluster);
+  auto& sproc = cluster.spawn_process(0, "server");
+  margo::InstanceConfig sc;
+  sc.server = true;
+  sc.handler_es = 2;
+  sc.hg.eager_limit = eager_limit;
+  margo::Instance server(fabric, sproc, sc);
+  sonata::Provider provider(server, 1);
+  auto& cproc = cluster.spawn_process(1, "client");
+  margo::InstanceConfig cc;
+  cc.hg.eager_limit = eager_limit;
+  margo::Instance client(fabric, cproc, cc);
+  sonata::Client db(client);
+
+  sim::DurationNs elapsed = 0;
+  server.start();
+  client.start();
+  client.spawn([&] {
+    db.create_collection(server.addr(), 1, "c");
+    std::string arr = "[";
+    for (int i = 0; i < 400; ++i) {
+      if (i != 0) arr += ",";
+      arr += R"({"k": )" + std::to_string(i) + R"(, "pad": ")" +
+             std::string(60, 'x') + "\"}";
+    }
+    arr += "]";
+    const auto t0 = eng.now();
+    for (int batch = 0; batch < 10; ++batch) {
+      db.store_multi(server.addr(), 1, "c", arr, nullptr);
+    }
+    elapsed = eng.now() - t0;
+    client.finalize();
+    server.finalize();
+  });
+  eng.run();
+  return elapsed;
+}
+
+// --- 2. backend comparison ---------------------------------------------------
+
+sim::DurationNs run_hepnos_backend(sym::sdskv::BackendType backend) {
+  auto params = hepnos_params(sym::workloads::table4_c3(), 1024);
+  params.backend = backend;
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+  return world.makespan();
+}
+
+// --- 3. pipeline depth sweep --------------------------------------------------
+
+sim::DurationNs run_pipeline_depth(std::uint32_t depth) {
+  auto cfg = sym::workloads::table4_c5();
+  cfg.pipeline_ops = depth;
+  auto params = hepnos_params(cfg, 1024);
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+  return world.makespan();
+}
+
+}  // namespace
+
+int main() {
+  print_header("Ablation sweeps over design parameters",
+               "DESIGN.md design-choice ablations (not a paper figure)");
+
+  std::printf("--- eager-buffer threshold (Sonata store_multi, ~28 KB "
+              "batches) ---\n");
+  for (const std::size_t limit : {1024u, 4096u, 16384u, 65536u, 262144u}) {
+    const auto t = run_sonata_with_eager_limit(limit);
+    std::printf("  eager_limit %7zu B: %9.3f ms %s\n", limit,
+                sim::to_millis(t),
+                limit >= 262144 ? "(fully eager: no internal RDMA)" : "");
+  }
+
+  std::printf("\n--- SDSKV backend under the HEPnOS write workload (C3) "
+              "---\n");
+  const struct {
+    sym::sdskv::BackendType type;
+    const char* name;
+  } backends[] = {
+      {sym::sdskv::BackendType::kMap, "map"},
+      {sym::sdskv::BackendType::kLevelDb, "leveldb-sim"},
+      {sym::sdskv::BackendType::kBerkeleyDb, "bdb-sim"},
+  };
+  for (const auto& b : backends) {
+    std::printf("  %-12s makespan %9.3f ms\n", b.name,
+                sim::to_millis(run_hepnos_backend(b.type)));
+  }
+
+  std::printf("\n--- data-loader pipeline depth (batch 1, C5 pathology) "
+              "---\n");
+  for (const std::uint32_t depth : {1u, 4u, 16u, 64u, 256u}) {
+    std::printf("  pipeline %3u ops: makespan %9.3f ms\n", depth,
+                sim::to_millis(run_pipeline_depth(depth)));
+  }
+  return 0;
+}

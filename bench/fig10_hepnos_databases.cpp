@@ -1,0 +1,116 @@
+// fig10_hepnos_databases: reproduces Fig. 10 — sampling blocked ULTs from
+// Argobots for sdskv_put_packed under C2 (32 databases) vs C3 (8 databases),
+// plus the C2 vs C3 RPC performance comparison (§V-C3).
+//
+// Paper's findings:
+//   * The map backend cannot insert in parallel; 32 databases generate a
+//     flood of small RPCs whose handler ULTs pile up blocked (vertical-line
+//     patterns of requests that arrive together but finish in succession).
+//   * C3 (8 databases) reduces the serialization severity and improves RPC
+//     performance by 28.5%.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct Result {
+  double total_ns = 0;       // cumulative origin execution (end-to-end)
+  double mean_blocked = 0;   // mean blocked-ULT count sampled at t5
+  std::uint32_t max_blocked = 0;
+  std::uint64_t rpcs = 0;
+  std::vector<std::pair<sim::TimeNs, std::uint32_t>> series;  // per target
+};
+
+Result run_config(const sym::workloads::HepnosConfig& cfg) {
+  auto params = hepnos_params(cfg, /*events_per_client=*/2048);
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+
+  Result r;
+  const auto leaf = prof::hash16("sdskv_put_packed_rpc");
+  for (const auto* store : world.all_profiles()) {
+    for (const auto& [key, stats] : store->entries()) {
+      if (key.side != prof::Side::kOrigin) continue;
+      if (prof::leaf_of(key.breadcrumb) != leaf) continue;
+      r.total_ns += stats.at(prof::Interval::kOriginExec).sum_ns;
+      r.rpcs += stats.at(prof::Interval::kOriginExec).count;
+    }
+  }
+  // Blocked-ULT samples from the target-start trace events (the paper
+  // samples Argobots when the request begins execution on the target).
+  std::uint64_t sum = 0, n = 0;
+  for (const auto* ts : world.server_traces()) {
+    for (const auto& ev : ts->events()) {
+      if (ev.kind != prof::TraceEventKind::kTargetStart) continue;
+      sum += ev.blocked_ults;
+      ++n;
+      r.max_blocked = std::max(r.max_blocked, ev.blocked_ults);
+      r.series.emplace_back(ev.local_ts, ev.blocked_ults);
+    }
+  }
+  if (n > 0) r.mean_blocked = static_cast<double>(sum) / n;
+  std::sort(r.series.begin(), r.series.end());
+  return r;
+}
+
+void print_series(const char* name, const Result& r) {
+  std::printf("\n%s blocked-ULT samples (time_ms blocked), every %zu-th of "
+              "%zu samples:\n",
+              name, std::max<std::size_t>(1, r.series.size() / 24),
+              r.series.size());
+  const std::size_t step = std::max<std::size_t>(1, r.series.size() / 24);
+  for (std::size_t i = 0; i < r.series.size(); i += step) {
+    std::printf("  %8.3f  %u\n", sim::to_millis(r.series[i].first),
+                r.series[i].second);
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "HEPnOS: blocked ULTs sampled from argolite at request start, C2 (32 "
+      "databases) vs C3 (8 databases)",
+      "Fig. 10 + §V-C3; paper: C3 improves RPC performance by 28.5% and "
+      "reduces serialization severity");
+
+  const Result c2 = run_config(sym::workloads::table4_c2());
+  const Result c3 = run_config(sym::workloads::table4_c3());
+
+  std::printf("C2: rpcs=%llu  cumulative origin exec=%10.3f ms  blocked "
+              "mean=%6.1f max=%u\n",
+              static_cast<unsigned long long>(c2.rpcs), c2.total_ns / 1e6,
+              c2.mean_blocked, c2.max_blocked);
+  std::printf("C3: rpcs=%llu  cumulative origin exec=%10.3f ms  blocked "
+              "mean=%6.1f max=%u\n",
+              static_cast<unsigned long long>(c3.rpcs), c3.total_ns / 1e6,
+              c3.mean_blocked, c3.max_blocked);
+
+  std::printf("\nC3 vs C2: RPC performance improves by %.1f%% (paper: "
+              "28.5%%); RPC count drops %.1fx\n",
+              100.0 * (c2.total_ns - c3.total_ns) / c2.total_ns,
+              static_cast<double>(c2.rpcs) / static_cast<double>(c3.rpcs));
+  std::printf("blocked-ULT severity: mean %.1f -> %.1f, max %u -> %u\n",
+              c2.mean_blocked, c3.mean_blocked, c2.max_blocked,
+              c3.max_blocked);
+
+  print_series("C2", c2);
+  print_series("C3", c3);
+
+  // Full series as CSV for plotting (see bench/plots/plot_figures.gp).
+  for (const auto* r : {&c2, &c3}) {
+    const char* path = r == &c2 ? "fig10_c2_blocked.csv" : "fig10_c3_blocked.csv";
+    std::ofstream os(path);
+    os << "time_ms,blocked_ults\n";
+    for (const auto& [t, blocked] : r->series) {
+      os << sim::to_millis(t) << ',' << blocked << '\n';
+    }
+    std::printf("series written to %s\n", path);
+  }
+  return 0;
+}

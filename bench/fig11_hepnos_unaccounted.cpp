@@ -1,0 +1,101 @@
+// fig11_hepnos_unaccounted: reproduces Fig. 11 — the unaccounted component
+// of cumulative RPC execution time under C4..C7 (§V-C4).
+//
+// Paper's findings:
+//   * batch size 1024 (C4) is roughly 475x more performant than batch 1 (C5)
+//   * with batch 1, RPC API + RPC library instrumentation cannot account for
+//     a large share of origin execution time (progress-loop starvation)
+//   * C6 (OFI_max_events 16 -> 64) improves RPC performance by over 40% and
+//     reduces unaccounted time by 47%
+//   * C7 (dedicated client progress ES) improves a further 75% and cuts the
+//     remaining unaccounted time by 90%
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct Result {
+  double origin_exec_ns = 0;
+  double measured_ns = 0;
+  double unaccounted_ns = 0;
+  std::uint64_t events = 0;
+  std::uint64_t rpcs = 0;
+  sim::DurationNs makespan = 0;
+
+  [[nodiscard]] double per_event_us() const {
+    return events == 0 ? 0 : sim::to_micros(makespan) /
+                                 static_cast<double>(events);
+  }
+};
+
+Result run_config(const sym::workloads::HepnosConfig& cfg,
+                  std::uint32_t events_per_client) {
+  auto params = hepnos_params(cfg, events_per_client);
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+
+  Result r;
+  const auto summary = prof::ProfileSummary::build(world.all_profiles());
+  const auto* cb = summary.find_by_leaf("sdskv_put_packed_rpc");
+  if (cb != nullptr) {
+    r.origin_exec_ns = cb->cumulative_ns;
+    r.unaccounted_ns = cb->unaccounted_ns();
+    r.measured_ns = r.origin_exec_ns - r.unaccounted_ns;
+  }
+  for (const auto& s : world.loader_stats()) {
+    r.events += s.events;
+    r.rpcs += s.rpcs;
+  }
+  r.makespan = world.makespan();
+  return r;
+}
+
+void print_result(const char* name, const Result& r) {
+  std::printf("%s: origin exec %12.3f ms | measured %12.3f ms | unaccounted "
+              "%12.3f ms (%5.1f%%) | makespan %9.3f ms | %.2f us/event\n",
+              name, r.origin_exec_ns / 1e6, r.measured_ns / 1e6,
+              r.unaccounted_ns / 1e6,
+              r.origin_exec_ns > 0
+                  ? 100.0 * r.unaccounted_ns / r.origin_exec_ns
+                  : 0.0,
+              sim::to_millis(r.makespan), r.per_event_us());
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "HEPnOS: unaccounted component of RPC execution time, C4..C7",
+      "Fig. 11; paper: C4 ~475x C5; C6 +40% perf / -47% unaccounted; C7 "
+      "+75% perf / -90% unaccounted");
+
+  // Batch 1 issues one RPC per event; keep the volume bench-scale.
+  const std::uint32_t events = 2048;
+  const Result c4 = run_config(sym::workloads::table4_c4(), events);
+  const Result c5 = run_config(sym::workloads::table4_c5(), events);
+  const Result c6 = run_config(sym::workloads::table4_c6(), events);
+  const Result c7 = run_config(sym::workloads::table4_c7(), events);
+
+  print_result("C4", c4);
+  print_result("C5", c5);
+  print_result("C6", c6);
+  print_result("C7", c7);
+
+  std::printf("\nbatch 1024 vs batch 1: C4 is %.0fx more performant per "
+              "event (paper: ~475x)\n",
+              c5.per_event_us() / c4.per_event_us());
+  std::printf("C6 vs C5: RPC performance %+.1f%% (paper: >+40%%), "
+              "unaccounted %+.1f%% (paper: -47%%)\n",
+              100.0 * (c5.per_event_us() - c6.per_event_us()) /
+                  c5.per_event_us(),
+              100.0 * (c6.unaccounted_ns - c5.unaccounted_ns) /
+                  c5.unaccounted_ns);
+  std::printf("C7 vs C6: RPC performance %+.1f%% (paper: +75%%), "
+              "unaccounted %+.1f%% (paper: -90%%)\n",
+              100.0 * (c6.per_event_us() - c7.per_event_us()) /
+                  c6.per_event_us(),
+              100.0 * (c7.unaccounted_ns - c6.unaccounted_ns) /
+                  c6.unaccounted_ns);
+  return 0;
+}

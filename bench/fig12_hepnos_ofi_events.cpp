@@ -1,0 +1,108 @@
+// fig12_hepnos_ofi_events: reproduces Fig. 12 — sampling the
+// num_ofi_events_read Mercury PVAR on the data-loader clients for C4..C7.
+//
+// Paper's findings:
+//   * C4 (batch 1024): the OFI_max_events threshold (16) is never breached;
+//     the OFI completion queue is emptied at regular intervals.
+//   * C5 (batch 1): reads consistently hit the threshold of 16 — the
+//     completion queue is backed up.
+//   * C6 (threshold 64): reads exceed 16 but the queue still backs up some.
+//   * C7 (dedicated progress ES): the event queue is no longer backed up.
+#include <algorithm>
+#include <fstream>
+
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct Result {
+  std::vector<float> samples;  // num_ofi_events_read at each origin_end
+  std::size_t at_threshold = 0;
+  float max_read = 0;
+  double mean_read = 0;
+};
+
+Result run_config(const sym::workloads::HepnosConfig& cfg,
+                  std::uint32_t events_per_client) {
+  auto params = hepnos_params(cfg, events_per_client);
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+
+  Result r;
+  double sum = 0;
+  for (const auto* ts : world.client_traces()) {
+    for (const auto& ev : ts->events()) {
+      if (ev.kind != prof::TraceEventKind::kOriginEnd) continue;
+      r.samples.push_back(ev.num_ofi_events_read);
+      sum += ev.num_ofi_events_read;
+      r.max_read = std::max(r.max_read, ev.num_ofi_events_read);
+      if (ev.num_ofi_events_read >= static_cast<float>(cfg.ofi_max_events)) {
+        ++r.at_threshold;
+      }
+    }
+  }
+  if (!r.samples.empty()) r.mean_read = sum / r.samples.size();
+  return r;
+}
+
+void print_result(const char* name, const Result& r, std::uint32_t limit) {
+  std::printf("%s (OFI_max_events=%2u): samples=%zu  mean=%5.2f  max=%3.0f  "
+              "at-threshold=%5.1f%%\n",
+              name, limit, r.samples.size(), r.mean_read,
+              static_cast<double>(r.max_read),
+              r.samples.empty()
+                  ? 0.0
+                  : 100.0 * static_cast<double>(r.at_threshold) /
+                        static_cast<double>(r.samples.size()));
+  // Compact histogram of the sampled PVAR.
+  std::size_t buckets[5] = {0, 0, 0, 0, 0};  // 0-1, 2-4, 5-15, 16-63, >=64
+  for (const float v : r.samples) {
+    if (v < 2) ++buckets[0];
+    else if (v < 5) ++buckets[1];
+    else if (v < 16) ++buckets[2];
+    else if (v < 64) ++buckets[3];
+    else ++buckets[4];
+  }
+  std::printf("     reads: [0-1]=%zu  [2-4]=%zu  [5-15]=%zu  [16-63]=%zu  "
+              "[>=64]=%zu\n",
+              buckets[0], buckets[1], buckets[2], buckets[3], buckets[4]);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "HEPnOS: num_ofi_events_read PVAR sampled at origin completion, C4..C7",
+      "Fig. 12; paper: C4 never breaches 16; C5 pegged at 16; C6 reads >16; "
+      "C7 queue no longer backed up");
+
+  const std::uint32_t events = 2048;
+  const auto c4 = run_config(sym::workloads::table4_c4(), events);
+  const auto c5 = run_config(sym::workloads::table4_c5(), events);
+  const auto c6 = run_config(sym::workloads::table4_c6(), events);
+  const auto c7 = run_config(sym::workloads::table4_c7(), events);
+
+  print_result("C4", c4, 16);
+  print_result("C5", c5, 16);
+  print_result("C6", c6, 64);
+  print_result("C7", c7, 64);
+
+  // Sample series as CSV for plotting (see bench/plots/plot_figures.gp).
+  const std::pair<const char*, const Result*> outs[] = {
+      {"fig12_c4_ofi_reads.csv", &c4},
+      {"fig12_c5_ofi_reads.csv", &c5},
+      {"fig12_c6_ofi_reads.csv", &c6},
+      {"fig12_c7_ofi_reads.csv", &c7},
+  };
+  for (const auto& [path, r] : outs) {
+    std::ofstream os(path);
+    os << "sample,num_ofi_events_read\n";
+    for (std::size_t i = 0; i < r->samples.size(); ++i) {
+      os << i << ',' << r->samples[i] << '\n';
+    }
+    std::printf("series written to %s\n", path);
+  }
+  return 0;
+}

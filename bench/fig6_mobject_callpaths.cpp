@@ -1,0 +1,59 @@
+// fig6_mobject_callpaths: reproduces Fig. 6 — identifying the dominant
+// callpaths of the ior+Mobject workload (§V-A2).
+//
+// Setup per the paper: a single Mobject service provider node and 10 ior
+// clients colocated on the same physical node, reading and writing objects.
+//
+// Paper's findings:
+//   * mobject_read_op is the most expensive Mobject API operation overall;
+//   * mobject_read_op => sdskv_list_keyvals_rpc is its dominant component;
+//   * the per-step breakdown (input serialization, internal RDMA, target
+//     handler time) is negligible next to target execution for this setup.
+#include "bench/common.hpp"
+#include "workloads/mobject_world.hpp"
+
+using namespace bench;
+
+int main() {
+  print_header(
+      "ior + Mobject: top-5 dominant callpaths by cumulative end-to-end "
+      "request latency",
+      "Fig. 6; paper: mobject_read_op dominant; read_op => "
+      "sdskv_list_keyvals_rpc its largest component");
+
+  sym::workloads::MobjectWorld::Params p;
+  p.ior.clients = 10;
+  p.ior.ops_per_client = 24;
+  p.ior.object_bytes = 64 * 1024;
+  p.ior.read_fraction = 0.5;
+  sym::workloads::MobjectWorld world(p);
+  world.run();
+
+  const auto summary = prof::ProfileSummary::build(world.all_profiles());
+  std::printf("%s\n", summary.format(5).c_str());
+
+  // Cross-checks against the paper's observations.
+  const auto* read_op = summary.find_by_leaf("mobject_read_op");
+  const auto* write_op = summary.find_by_leaf("mobject_write_op");
+  const auto* read_list = [&]() -> const prof::CallpathBreakdown* {
+    const auto want = prof::extend(prof::hash16("mobject_read_op"),
+                                   prof::hash16("sdskv_list_keyvals_rpc"));
+    for (const auto& cb : summary.callpaths) {
+      if (cb.breadcrumb == want) return &cb;
+    }
+    return nullptr;
+  }();
+
+  if (read_op != nullptr && write_op != nullptr) {
+    std::printf("mobject_read_op cumulative:  %10.3f ms\n",
+                read_op->cumulative_ns / 1e6);
+    std::printf("mobject_write_op cumulative: %10.3f ms\n",
+                write_op->cumulative_ns / 1e6);
+  }
+  if (read_op != nullptr && read_list != nullptr) {
+    std::printf("read_op => sdskv_list_keyvals_rpc accounts for %.1f%% of "
+                "mobject_read_op\n",
+                100.0 * read_list->cumulative_ns / read_op->cumulative_ns);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// fig9_hepnos_threads: reproduces Fig. 9 — cumulative target RPC execution
+// time for sdskv_put_packed under configuration C1 (5 execution streams) vs
+// C2 (20 execution streams).
+//
+// Paper's findings:
+//   * C1 starves handler ULTs: the target ULT handler time (t4->t5)
+//     accounts for 26.6% of the total RPC execution time.
+//   * C2 adds 15 ESs: overall cumulative RPC execution time improves by
+//     53.3%, handler time share drops to ~14%.
+#include "bench/common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct Result {
+  double total_ns = 0;
+  double handler_ns = 0;
+  double exec_ns = 0;
+  double other_ns = 0;
+  sim::DurationNs makespan = 0;
+};
+
+Result run_config(const sym::workloads::HepnosConfig& cfg) {
+  auto params = hepnos_params(cfg, /*events_per_client=*/2048);
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+
+  const auto leaf = prof::hash16("sdskv_put_packed_rpc");
+  const auto stores = world.all_profiles();
+  Result r;
+  r.handler_ns =
+      sum_target_interval(stores, prof::Interval::kHandlerWait, leaf);
+  r.exec_ns = sum_target_interval(stores, prof::Interval::kTargetExec, leaf);
+  r.other_ns =
+      sum_target_interval(stores, prof::Interval::kInputDeser, leaf) +
+      sum_target_interval(stores, prof::Interval::kOutputSer, leaf) +
+      sum_target_interval(stores, prof::Interval::kTargetCallback, leaf) +
+      sum_target_interval(stores, prof::Interval::kInternalRdma, leaf);
+  r.total_ns = r.handler_ns + r.exec_ns + r.other_ns;
+  r.makespan = world.makespan();
+  return r;
+}
+
+void print_result(const char* name, const Result& r) {
+  std::printf("%s: cumulative target RPC time = %10.3f ms  (makespan %.3f ms)\n",
+              name, r.total_ns / 1e6, sim::to_millis(r.makespan));
+  std::printf("    target_ult_handler_time   %10.3f ms  (%5.1f%%)\n",
+              r.handler_ns / 1e6, 100.0 * r.handler_ns / r.total_ns);
+  std::printf("    target_ult_execution_time %10.3f ms  (%5.1f%%)\n",
+              r.exec_ns / 1e6, 100.0 * r.exec_ns / r.total_ns);
+  std::printf("    other measured intervals  %10.3f ms  (%5.1f%%)\n",
+              r.other_ns / 1e6, 100.0 * r.other_ns / r.total_ns);
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "HEPnOS: cumulative target RPC execution time for sdskv_put_packed, "
+      "C1 (5 ESs) vs C2 (20 ESs)",
+      "Fig. 9; paper: handler time 26.6% -> 14%, total improves 53.3%");
+
+  const Result c1 = run_config(sym::workloads::table4_c1());
+  const Result c2 = run_config(sym::workloads::table4_c2());
+
+  print_result("C1", c1);
+  print_result("C2", c2);
+
+  const double total_improvement = 100.0 * (c1.total_ns - c2.total_ns) /
+                                   c1.total_ns;
+  std::printf("\nC2 vs C1: cumulative target RPC time improves by %.1f%% "
+              "(paper: 53.3%%)\n",
+              total_improvement);
+  std::printf("handler-time share: C1 %.1f%% (paper 26.6%%) -> C2 %.1f%% "
+              "(paper ~14%%)\n",
+              100.0 * c1.handler_ns / c1.total_ns,
+              100.0 * c2.handler_ns / c2.total_ns);
+  return 0;
+}

@@ -1,0 +1,194 @@
+// micro_benchmarks: google-benchmark measurements of the infrastructure
+// primitives underlying the simulator and the SYMBIOSYS instrumentation.
+// These quantify the *host-side* cost of the building blocks (fiber
+// switches, event dispatch, breadcrumb hashing, PVAR sampling, proc
+// serialization, JSON parsing, jx9 filters) and serve as ablation data for
+// the design choices called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "merclite/core.hpp"
+#include "merclite/proc.hpp"
+#include "services/sonata/json.hpp"
+#include "services/sonata/jx9lite.hpp"
+#include "simkit/cluster.hpp"
+#include "simkit/engine.hpp"
+#include "simkit/fiber.hpp"
+#include "simkit/rng.hpp"
+#include "sofi/fabric.hpp"
+#include "symbiosys/breadcrumb.hpp"
+
+namespace sim = sym::sim;
+namespace hg = sym::hg;
+namespace prof = sym::prof;
+namespace ofi = sym::ofi;
+
+// ---------------------------------------------------------------------------
+// simkit primitives
+// ---------------------------------------------------------------------------
+
+static void BM_EngineScheduleAndRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.at(static_cast<sim::TimeNs>(i), [] {});
+    }
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleAndRun);
+
+static void BM_FiberSwitchPair(benchmark::State& state) {
+  sim::Fiber fiber([] {
+    while (true) sim::Fiber::switch_out();
+  });
+  for (auto _ : state) {
+    fiber.switch_in();  // in + out = one round trip
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FiberSwitchPair);
+
+static void BM_RngNext(benchmark::State& state) {
+  sim::Rng rng(7);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    sink ^= rng.next();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_RngNext);
+
+// ---------------------------------------------------------------------------
+// SYMBIOSYS instrumentation primitives
+// ---------------------------------------------------------------------------
+
+static void BM_BreadcrumbHashAndExtend(benchmark::State& state) {
+  prof::Breadcrumb bc = 0;
+  for (auto _ : state) {
+    bc = prof::extend(bc, prof::hash16("sdskv_put_packed_rpc"));
+    benchmark::DoNotOptimize(bc);
+  }
+}
+BENCHMARK(BM_BreadcrumbHashAndExtend);
+
+static void BM_PvarSessionRead(benchmark::State& state) {
+  sim::Engine eng;
+  sim::Cluster cluster(eng, sim::ClusterParams{.node_count = 1});
+  ofi::Fabric fabric{cluster};
+  auto& proc = cluster.spawn_process(0, "bench");
+  hg::Class cls(fabric, proc);
+  auto session = cls.pvar_session_init();
+  const auto h = session.alloc("completion_queue_size");
+  double sink = 0;
+  for (auto _ : state) {
+    sink += session.read(h);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_PvarSessionRead);
+
+// ---------------------------------------------------------------------------
+// Wire serialization
+// ---------------------------------------------------------------------------
+
+static void BM_ProcEncodeKvBatch(benchmark::State& state) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 64; ++i) {
+    kvs.emplace_back("key-" + std::to_string(i), std::string(512, 'v'));
+  }
+  for (auto _ : state) {
+    auto buf = hg::encode(kvs);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 64 *
+                          520);
+}
+BENCHMARK(BM_ProcEncodeKvBatch);
+
+static void BM_ProcDecodeKvBatch(benchmark::State& state) {
+  std::vector<std::pair<std::string, std::string>> kvs;
+  for (int i = 0; i < 64; ++i) {
+    kvs.emplace_back("key-" + std::to_string(i), std::string(512, 'v'));
+  }
+  const auto buf = hg::encode(kvs);
+  for (auto _ : state) {
+    auto out = hg::decode<decltype(kvs)>(buf);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_ProcDecodeKvBatch);
+
+static void BM_RpcHeaderRoundTrip(benchmark::State& state) {
+  hg::RpcHeader h;
+  h.rpc_id = 0x1234;
+  h.breadcrumb = 0xAABBCCDD;
+  for (auto _ : state) {
+    hg::BufWriter w;
+    hg::put(w, h);
+    hg::BufReader r(w.buffer());
+    hg::RpcHeader out;
+    hg::get(r, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RpcHeaderRoundTrip);
+
+// ---------------------------------------------------------------------------
+// Sonata JSON / jx9lite
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string make_record_array(int n) {
+  std::string arr = "[";
+  for (int i = 0; i < n; ++i) {
+    if (i != 0) arr += ",";
+    arr += R"({"id": )" + std::to_string(i) +
+           R"(, "pt": 12.5, "detector": "EMCAL", "vertex": {"z": 3.14}})";
+  }
+  arr += "]";
+  return arr;
+}
+
+}  // namespace
+
+static void BM_JsonParseRecordArray(benchmark::State& state) {
+  const auto text = make_record_array(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto v = sym::json::parse(text);
+    benchmark::DoNotOptimize(v);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_JsonParseRecordArray)->Arg(10)->Arg(100)->Arg(1000);
+
+static void BM_JsonDump(benchmark::State& state) {
+  const auto v = sym::json::parse(make_record_array(100));
+  for (auto _ : state) {
+    auto text = sym::json::dump(v);
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_JsonDump);
+
+static void BM_Jx9FilterEval(benchmark::State& state) {
+  const auto filter = sym::jx9::Filter::compile(
+      "$pt > 10 && $detector == \"EMCAL\" && exists($vertex.z)");
+  const auto rec = sym::json::parse(
+      R"({"pt": 12.5, "detector": "EMCAL", "vertex": {"z": 3.14}})");
+  bool sink = false;
+  for (auto _ : state) {
+    sink ^= filter.matches(rec);
+  }
+  benchmark::DoNotOptimize(sink);
+}
+BENCHMARK(BM_Jx9FilterEval);
+
+BENCHMARK_MAIN();

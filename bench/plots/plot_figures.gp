@@ -1,0 +1,29 @@
+# gnuplot script rendering the paper's scatter figures from the CSV series
+# the benches emit in the working directory:
+#   ./build/bench/fig10_hepnos_databases     (fig10_c{2,3}_blocked.csv)
+#   ./build/bench/fig12_hepnos_ofi_events    (fig12_c{4,5,6,7}_ofi_reads.csv)
+#   gnuplot bench/plots/plot_figures.gp      -> fig10.png, fig12.png
+set datafile separator ','
+set terminal pngcairo size 1100,420
+
+set output 'fig10.png'
+set multiplot layout 1,2 title 'Fig. 10: blocked ULTs sampled at request start'
+set xlabel 'time (ms)'; set ylabel 'blocked ULTs'
+set title 'C2 (32 databases)'
+plot 'fig10_c2_blocked.csv' skip 1 using 1:2 with points pt 7 ps 0.4 notitle
+set title 'C3 (8 databases)'
+plot 'fig10_c3_blocked.csv' skip 1 using 1:2 with points pt 7 ps 0.4 notitle
+unset multiplot
+
+set output 'fig12.png'
+set multiplot layout 2,2 title 'Fig. 12: num_ofi_events_read PVAR samples'
+set xlabel 'sample'; set ylabel 'events read'
+set title 'C4 (batch 1024, max 16)'
+plot 'fig12_c4_ofi_reads.csv' skip 1 using 1:2 with points pt 7 ps 0.3 notitle, 16 with lines dt 2 notitle
+set title 'C5 (batch 1, max 16)'
+plot 'fig12_c5_ofi_reads.csv' skip 1 using 1:2 with points pt 7 ps 0.3 notitle, 16 with lines dt 2 notitle
+set title 'C6 (batch 1, max 64)'
+plot 'fig12_c6_ofi_reads.csv' skip 1 using 1:2 with points pt 7 ps 0.3 notitle, 64 with lines dt 2 notitle
+set title 'C7 (dedicated progress ES)'
+plot 'fig12_c7_ofi_reads.csv' skip 1 using 1:2 with points pt 7 ps 0.3 notitle
+unset multiplot

@@ -1,0 +1,157 @@
+// analyze_perf_data: the standalone analysis tool — the C++ counterpart of
+// the paper's postprocessing scripts. Given a directory of per-process
+// measurement CSVs (profile_*.csv, trace_*.csv, sysstats_*.csv, as written
+// by prof::write_*_csv_file), it runs all three summaries and optionally
+// exports every stitched request as Zipkin JSON.
+//
+//   $ ./analyze_perf_data <data-dir> [--zipkin out.json] [--top N]
+//
+// With no arguments it generates a demonstration corpus first (a small
+// HEPnOS run), so it is runnable out of the box.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "symbiosys/analysis.hpp"
+#include "symbiosys/export.hpp"
+#include "symbiosys/insight.hpp"
+#include "symbiosys/zipkin.hpp"
+#include "workloads/hepnos_world.hpp"
+
+namespace prof = sym::prof;
+namespace fs = std::filesystem;
+
+namespace {
+
+fs::path generate_demo_corpus() {
+  const auto dir = fs::temp_directory_path() / "symbiosys_demo_corpus";
+  fs::create_directories(dir);
+  std::printf("no data directory given: generating a demo corpus in %s\n\n",
+              dir.string().c_str());
+  sym::workloads::HepnosWorld::Params params;
+  params.config = sym::workloads::table4_c3();
+  params.config.total_clients = 4;
+  params.config.clients_per_node = 2;
+  params.file_model.events_per_file = 512;
+  sym::workloads::HepnosWorld world(params);
+  world.run();
+  std::size_t i = 0;
+  for (const auto* p : world.all_profiles()) {
+    prof::write_profile_csv_file(
+        (dir / ("profile_" + std::to_string(i) + ".csv")).string(), *p);
+    ++i;
+  }
+  i = 0;
+  for (const auto* t : world.all_traces()) {
+    prof::write_trace_csv_file(
+        (dir / ("trace_" + std::to_string(i) + ".csv")).string(), *t);
+    ++i;
+  }
+  i = 0;
+  for (const auto& [name, s] : world.all_sysstats()) {
+    prof::write_sysstats_csv_file(
+        (dir / ("sysstats_" + std::to_string(i) + ".csv")).string(), *s);
+    ++i;
+  }
+  return dir;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path dir;
+  std::string zipkin_out;
+  std::size_t top_n = 5;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--zipkin") == 0 && i + 1 < argc) {
+      zipkin_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else {
+      dir = argv[i];
+    }
+  }
+  if (dir.empty()) dir = generate_demo_corpus();
+  if (!fs::is_directory(dir)) {
+    std::fprintf(stderr, "error: %s is not a directory\n",
+                 dir.string().c_str());
+    return 1;
+  }
+
+  // Ingest everything in the directory by filename convention.
+  std::vector<prof::ProfileStore> profiles;
+  std::vector<prof::TraceStore> traces;
+  std::vector<std::pair<std::string, prof::SysStatStore>> sysstats;
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    paths.push_back(entry.path());
+  }
+  std::sort(paths.begin(), paths.end());  // deterministic ingest order
+  for (const auto& path : paths) {
+    const auto name = path.filename().string();
+    if (name.rfind("profile_", 0) == 0) {
+      profiles.push_back(prof::read_profile_csv_file(path.string()));
+    } else if (name.rfind("trace_", 0) == 0) {
+      traces.push_back(prof::read_trace_csv_file(path.string()));
+    } else if (name.rfind("sysstats_", 0) == 0) {
+      sysstats.emplace_back(name, prof::read_sysstats_csv_file(path.string()));
+    }
+  }
+  std::printf("ingested %zu profiles, %zu traces, %zu sysstat files from "
+              "%s\n\n",
+              profiles.size(), traces.size(), sysstats.size(),
+              dir.string().c_str());
+
+  // Profile summary.
+  std::vector<const prof::ProfileStore*> pptr;
+  for (const auto& p : profiles) pptr.push_back(&p);
+  const auto psum = prof::ProfileSummary::build(pptr);
+  std::printf("%s\n", psum.format(top_n).c_str());
+
+  // Trace summary.
+  std::vector<const prof::TraceStore*> tptr;
+  for (const auto& t : traces) tptr.push_back(&t);
+  const auto tsum = prof::TraceSummary::build(tptr);
+  std::printf("trace summary: %zu events -> %zu spans in %zu requests; "
+              "clock offsets recovered for %zu endpoints\n",
+              tsum.total_events, tsum.total_spans, tsum.requests.size(),
+              tsum.clock_offset_ns.size());
+  if (!tsum.requests.empty()) {
+    std::printf("\nfirst stitched request:\n%s\n",
+                tsum.format_request(tsum.requests.front()).c_str());
+  }
+
+  // Insight passes: critical path of the slowest request, empirical
+  // anomalies, structural diff.
+  if (!tsum.requests.empty()) {
+    const prof::RequestTrace* slowest = &tsum.requests.front();
+    for (const auto& rt : tsum.requests) {
+      if (!rt.spans.empty() && !slowest->spans.empty() &&
+          rt.spans.front().duration() >
+              slowest->spans.front().duration()) {
+        slowest = &rt;
+      }
+    }
+    std::printf("%s\n", prof::critical_path(*slowest).format().c_str());
+  }
+  const auto anomalies = prof::detect_anomalies(tsum);
+  std::printf("%s\n", anomalies.format(5).c_str());
+  const auto diff = prof::structural_diff(tsum);
+  std::printf("%s\n", diff.format().c_str());
+
+  // System statistics summary.
+  std::vector<std::pair<std::string, const prof::SysStatStore*>> sptr;
+  for (const auto& [name, store] : sysstats) sptr.emplace_back(name, &store);
+  const auto ssum = prof::SysStatsSummary::build(sptr);
+  std::printf("%s", ssum.format().c_str());
+
+  if (!zipkin_out.empty()) {
+    std::ofstream(zipkin_out) << prof::to_zipkin_json(tsum);
+    std::printf("\nwrote Zipkin JSON for all %zu requests to %s\n",
+                tsum.requests.size(), zipkin_out.c_str());
+  }
+  return 0;
+}

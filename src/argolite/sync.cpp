@@ -1,0 +1,124 @@
+#include "argolite/sync.hpp"
+
+#include <cassert>
+
+#include "argolite/pool.hpp"
+#include "argolite/runtime.hpp"
+#include "argolite/ult.hpp"
+
+namespace sym::abt {
+namespace {
+
+void wake(Ult* u) { u->pool().wake_blocked(*u); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+void Mutex::lock() {
+  if (!locked_) {
+    locked_ = true;
+    return;
+  }
+  Ult* u = self();
+  assert(u != nullptr && "Mutex::lock() outside ULT context");
+  ++contended_;
+  waiters_.push_back(u);
+  block_self();
+  // Woken by unlock(): ownership was handed to us; locked_ remains true.
+  assert(locked_);
+}
+
+bool Mutex::try_lock() {
+  if (locked_) return false;
+  locked_ = true;
+  return true;
+}
+
+void Mutex::unlock() {
+  assert(locked_ && "unlock of an unlocked Mutex");
+  if (waiters_.empty()) {
+    locked_ = false;
+    return;
+  }
+  // FIFO handoff: the lock stays held and transfers to the oldest waiter.
+  Ult* next = waiters_.front();
+  waiters_.pop_front();
+  wake(next);
+}
+
+// ---------------------------------------------------------------------------
+// Eventual
+// ---------------------------------------------------------------------------
+
+void Eventual::wait() {
+  if (set_) return;
+  Ult* u = self();
+  assert(u != nullptr && "Eventual::wait() outside ULT context");
+  waiters_.push_back(u);
+  block_self();
+  assert(set_);
+}
+
+void Eventual::set() {
+  if (set_) return;
+  set_ = true;
+  auto woken = std::move(waiters_);
+  waiters_.clear();
+  for (Ult* u : woken) wake(u);
+}
+
+void Eventual::reset() {
+  assert(waiters_.empty() && "reset() with pending waiters");
+  set_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// CondVar
+// ---------------------------------------------------------------------------
+
+void CondVar::wait(Mutex& m) {
+  Ult* u = self();
+  assert(u != nullptr && "CondVar::wait() outside ULT context");
+  waiters_.push_back(u);
+  m.unlock();
+  block_self();
+  m.lock();
+}
+
+void CondVar::signal() {
+  if (waiters_.empty()) return;
+  Ult* u = waiters_.front();
+  waiters_.pop_front();
+  wake(u);
+}
+
+void CondVar::broadcast() {
+  auto woken = std::move(waiters_);
+  waiters_.clear();
+  for (Ult* u : woken) wake(u);
+}
+
+// ---------------------------------------------------------------------------
+// Barrier
+// ---------------------------------------------------------------------------
+
+void Barrier::wait() {
+  ++arrived_;
+  if (arrived_ < count_) {
+    Ult* u = self();
+    assert(u != nullptr && "Barrier::wait() outside ULT context");
+    waiters_.push_back(u);
+    block_self();
+    return;
+  }
+  // Last arrival: release the cohort and re-arm for cyclic use.
+  arrived_ = 0;
+  auto woken = std::move(waiters_);
+  waiters_.clear();
+  for (Ult* u : woken) wake(u);
+}
+
+}  // namespace sym::abt

@@ -1,0 +1,117 @@
+// argolite/sync.hpp
+//
+// ULT-level synchronization primitives (mirroring ABT_mutex, ABT_eventual,
+// ABT_cond, ABT_barrier). Waiting always goes through abt::block_self(), so
+// blocked ULTs are visible in pool accounting — the paper's Fig. 10 depends
+// on being able to sample how many ULTs sit blocked on a backend resource.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "argolite/types.hpp"
+
+namespace sym::abt {
+
+/// FIFO-fair mutual exclusion. unlock() hands ownership to the oldest
+/// waiter, which prevents starvation under the bursty RPC floods studied in
+/// the HEPnOS "too many databases" experiment.
+class Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock();
+  [[nodiscard]] bool try_lock();
+  void unlock();
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+  [[nodiscard]] std::size_t waiters() const noexcept {
+    return waiters_.size();
+  }
+  /// Total number of lock acquisitions that had to wait (contention metric).
+  [[nodiscard]] std::uint64_t contended_acquires() const noexcept {
+    return contended_;
+  }
+
+ private:
+  bool locked_ = false;
+  std::deque<Ult*> waiters_;
+  std::uint64_t contended_ = 0;
+};
+
+/// RAII guard for Mutex.
+class LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) : m_(m) { m_.lock(); }
+  ~LockGuard() { m_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// One-shot completion event (ABT_eventual). margo_forward() blocks the
+/// calling ULT on an Eventual that the Mercury completion callback sets.
+class Eventual {
+ public:
+  Eventual() = default;
+  Eventual(const Eventual&) = delete;
+  Eventual& operator=(const Eventual&) = delete;
+
+  /// Block until set() has been called (returns immediately if already set).
+  void wait();
+
+  /// Mark complete and wake all waiters. Idempotent.
+  void set();
+
+  [[nodiscard]] bool is_set() const noexcept { return set_; }
+
+  /// Re-arm for reuse. Only valid with no waiters.
+  void reset();
+
+ private:
+  bool set_ = false;
+  std::vector<Ult*> waiters_;
+};
+
+/// Condition variable over a Mutex.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically release `m`, wait for a signal, and reacquire `m`.
+  void wait(Mutex& m);
+  void signal();
+  void broadcast();
+
+  [[nodiscard]] std::size_t waiters() const noexcept {
+    return waiters_.size();
+  }
+
+ private:
+  std::deque<Ult*> waiters_;
+};
+
+/// Rendezvous barrier for `count` ULTs.
+class Barrier {
+ public:
+  explicit Barrier(std::uint32_t count) : count_(count) {}
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Block until `count` ULTs have arrived; the last arrival wakes everyone.
+  void wait();
+
+ private:
+  std::uint32_t count_;
+  std::uint32_t arrived_ = 0;
+  std::vector<Ult*> waiters_;
+};
+
+}  // namespace sym::abt

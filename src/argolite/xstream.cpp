@@ -1,0 +1,126 @@
+#include "argolite/xstream.hpp"
+
+#include <cassert>
+
+#include "argolite/pool.hpp"
+#include "argolite/runtime.hpp"
+#include "argolite/ult.hpp"
+#include "simkit/engine.hpp"
+
+namespace sym::abt {
+namespace {
+
+thread_local Xstream* g_current_xstream = nullptr;
+thread_local Ult* g_current_ult = nullptr;
+
+}  // namespace
+
+Xstream::Xstream(Runtime& runtime, std::uint32_t rank, std::vector<Pool*> pools)
+    : runtime_(runtime), rank_(rank), pools_(std::move(pools)) {}
+
+Xstream* Xstream::current() noexcept { return g_current_xstream; }
+Ult* Xstream::current_ult() noexcept { return g_current_ult; }
+
+void Xstream::notify_work() { try_dispatch(); }
+
+void Xstream::try_dispatch() {
+  if (busy_ || dispatch_scheduled_) return;
+  bool have_work = false;
+  for (Pool* p : pools_) {
+    if (p->ready_count() > 0) {
+      have_work = true;
+      break;
+    }
+  }
+  if (!have_work) return;
+  dispatch_scheduled_ = true;
+  // The dispatch overhead both models scheduler cost and guarantees virtual
+  // time cannot stand still across an unbounded chain of dispatches.
+  runtime_.engine().after(kDispatchOverheadNs, [this] {
+    dispatch_scheduled_ = false;
+    dispatch_one();
+  });
+}
+
+Ult* Xstream::pop_ready() {
+  for (Pool* p : pools_) {
+    if (Ult* u = p->pop(); u != nullptr) return u;
+  }
+  return nullptr;
+}
+
+void Xstream::dispatch_one() {
+  if (busy_) return;  // someone grabbed this ES meanwhile
+  Ult* u = pop_ready();
+  if (u == nullptr) return;
+  ++dispatched_;
+  run_ult(*u);
+  try_dispatch();
+}
+
+void Xstream::run_ult(Ult& ult) {
+  assert(!busy_);
+  assert(ult.state_ == UltState::kReady);
+  ult.state_ = UltState::kRunning;
+  if (!ult.ever_ran_) {
+    ult.ever_ran_ = true;
+    ult.first_run_at_ = runtime_.engine().now();
+  }
+  ult.pool().on_run_begin();
+
+  Xstream* prev_xs = g_current_xstream;
+  Ult* prev_ult = g_current_ult;
+  g_current_xstream = this;
+  g_current_ult = &ult;
+  ult.fiber_->switch_in();
+  g_current_xstream = prev_xs;
+  g_current_ult = prev_ult;
+
+  ult.pool().on_run_end();
+  if (ult.fiber_->finished()) ult.state_ = UltState::kFinished;
+  postprocess(ult);
+}
+
+void Xstream::postprocess(Ult& ult) {
+  switch (ult.state_) {
+    case UltState::kFinished:
+      runtime_.destroy_ult(ult);
+      break;
+    case UltState::kReady:
+      // yield(): requeue at the back of its pool.
+      ult.pool().push(ult);
+      break;
+    case UltState::kComputing:
+      // begin_compute() left this ES busy and scheduled the resume event.
+      break;
+    case UltState::kBlocked:
+      // A sync object / the network owns the wakeup.
+      break;
+    case UltState::kRunning:
+      assert(false && "ULT suspended while still marked running");
+      break;
+  }
+}
+
+void Xstream::begin_compute(sim::DurationNs d, Ult& ult) {
+  assert(g_current_ult == &ult && g_current_xstream == this);
+  assert(!busy_);
+  busy_ = true;
+  busy_time_ += d;
+  runtime_.process().add_cpu_time(d);
+  ult.state_ = UltState::kComputing;
+  runtime_.engine().after(d, [this, &ult] {
+    busy_ = false;
+    resume_here(ult);
+  });
+}
+
+void Xstream::resume_here(Ult& ult) {
+  assert(ult.state_ == UltState::kComputing);
+  assert(!busy_);
+  ult.state_ = UltState::kReady;  // run_ult() expects kReady
+  run_ult(ult);
+  try_dispatch();
+}
+
+}  // namespace sym::abt

@@ -1,0 +1,74 @@
+// argolite/xstream.hpp
+//
+// An execution stream ("xstream" / ES): the simulated hardware resource that
+// runs ULTs. An ES consumes ULTs from its attached pools in order; while a
+// ULT holds the ES (running or computing) no other ULT can be dispatched on
+// it. This occupancy model is what makes the paper's "target ULT handler
+// time" (t4 -> t5 wait in the handler pool) emerge when a service is
+// configured with too few ESs (HEPnOS configuration C1, Fig. 9).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "argolite/types.hpp"
+#include "simkit/time.hpp"
+
+namespace sym::sim {
+class Engine;
+class Process;
+}  // namespace sym::sim
+
+namespace sym::abt {
+
+class Xstream {
+ public:
+  Xstream(Runtime& runtime, std::uint32_t rank, std::vector<Pool*> pools);
+  Xstream(const Xstream&) = delete;
+  Xstream& operator=(const Xstream&) = delete;
+
+  [[nodiscard]] std::uint32_t rank() const noexcept { return rank_; }
+  [[nodiscard]] bool busy() const noexcept { return busy_; }
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+
+  /// Called by pools when work arrives: schedule a dispatch if idle.
+  void notify_work();
+
+  /// Occupy this ES for `d` of virtual time on behalf of the running ULT.
+  /// Must be called while `ult` is the ULT currently running here.
+  void begin_compute(sim::DurationNs d, Ult& ult);
+
+  /// Re-enter a previously suspended ULT (after compute/unblock).
+  void resume_here(Ult& ult);
+
+  [[nodiscard]] std::uint64_t ults_dispatched() const noexcept {
+    return dispatched_;
+  }
+  [[nodiscard]] sim::DurationNs busy_time() const noexcept {
+    return busy_time_;
+  }
+
+  /// The xstream currently executing a ULT on this thread, if any.
+  static Xstream* current() noexcept;
+  /// The ULT currently executing on this thread, if any.
+  static Ult* current_ult() noexcept;
+
+ private:
+  friend class Runtime;
+
+  void try_dispatch();
+  void dispatch_one();
+  [[nodiscard]] Ult* pop_ready();
+  void run_ult(Ult& ult);
+  void postprocess(Ult& ult);
+
+  Runtime& runtime_;
+  std::uint32_t rank_;
+  std::vector<Pool*> pools_;
+  bool busy_ = false;
+  bool dispatch_scheduled_ = false;
+  std::uint64_t dispatched_ = 0;
+  sim::DurationNs busy_time_ = 0;
+};
+
+}  // namespace sym::abt

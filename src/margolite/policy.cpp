@@ -1,0 +1,120 @@
+#include "margolite/policy.hpp"
+
+#include <memory>
+
+namespace sym::margo {
+
+void PolicyEngine::start() {
+  if (started_) return;
+  started_ = true;
+  // Monitor from the progress pool so sampling continues while the
+  // handler pool is saturated (the very condition the rules detect).
+  mid_.runtime().create_ult(mid_.progress_pool(), [this] { monitor_loop(); });
+}
+
+PolicySample PolicyEngine::take_sample() {
+  // Sample through the PVAR tool interface exactly as an external tool
+  // would (session init -> handle alloc -> read).
+  auto session = mid_.hg_class().pvar_session_init();
+  const auto pv_read = session.alloc("num_ofi_events_read");
+  const auto pv_cq = session.alloc("completion_queue_size");
+  const auto pv_posted = session.alloc("num_posted_handles");
+
+  PolicySample s;
+  s.now = mid_.engine().now();
+  s.num_ofi_events_read = session.read(pv_read);
+  s.completion_queue_size = session.read(pv_cq);
+  s.num_posted_handles = session.read(pv_posted);
+  s.ofi_max_events = mid_.hg_class().config().max_events;
+  s.blocked_ults = mid_.runtime().total_blocked();
+  s.runnable_ults = mid_.runtime().total_runnable();
+  s.rss_bytes = mid_.process().rss_bytes();
+  s.handler_es_count = mid_.handler_es_count();
+  return s;
+}
+
+void PolicyEngine::monitor_loop() {
+  while (!stopped_ && !mid_.finalized()) {
+    abt::sleep_for(period_);
+    if (stopped_ || mid_.finalized()) break;
+    const PolicySample sample = take_sample();
+    ++samples_;
+    for (auto& [name, rule] : rules_) {
+      if (auto fired = rule(mid_, sample)) {
+        actions_.push_back(PolicyAction{
+            sample.now, name + ": " + *fired});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Built-in rules
+// ---------------------------------------------------------------------------
+
+PolicyRule PolicyEngine::adaptive_max_events(unsigned consecutive,
+                                             std::size_t cap) {
+  auto streak = std::make_shared<unsigned>(0);
+  return [streak, consecutive, cap](
+             Instance& mid,
+             const PolicySample& s) -> std::optional<std::string> {
+    const bool pinned =
+        s.ofi_max_events > 0 &&
+        s.num_ofi_events_read >= static_cast<double>(s.ofi_max_events);
+    if (!pinned) {
+      *streak = 0;
+      return std::nullopt;
+    }
+    if (++*streak < consecutive) return std::nullopt;
+    *streak = 0;
+    if (s.ofi_max_events >= cap) return std::nullopt;
+    const std::size_t next = std::min(cap, s.ofi_max_events * 2);
+    mid.hg_class().set_max_events(next);
+    return "OFI completion queue backed up (reads pinned at " +
+           std::to_string(s.ofi_max_events) + "); raising OFI_max_events to " +
+           std::to_string(next);
+  };
+}
+
+PolicyRule PolicyEngine::handler_autoscale(double backlog_per_es,
+                                           unsigned consecutive,
+                                           unsigned max_es) {
+  auto streak = std::make_shared<unsigned>(0);
+  return [streak, backlog_per_es, consecutive, max_es](
+             Instance& mid,
+             const PolicySample& s) -> std::optional<std::string> {
+    const double per_es =
+        s.handler_es_count == 0
+            ? 0.0
+            : static_cast<double>(s.runnable_ults) / s.handler_es_count;
+    if (per_es < backlog_per_es) {
+      *streak = 0;
+      return std::nullopt;
+    }
+    if (++*streak < consecutive) return std::nullopt;
+    *streak = 0;
+    if (s.handler_es_count >= max_es) return std::nullopt;
+    const unsigned now_count = mid.add_handler_xstream();
+    return "handler pool starved (" + std::to_string(s.runnable_ults) +
+           " runnable ULTs on " + std::to_string(s.handler_es_count) +
+           " ESs); scaling to " + std::to_string(now_count) + " ESs";
+  };
+}
+
+PolicyRule PolicyEngine::rss_watermark(std::uint64_t limit_bytes) {
+  auto above = std::make_shared<bool>(false);
+  return [above, limit_bytes](
+             Instance&, const PolicySample& s) -> std::optional<std::string> {
+    const bool now_above = s.rss_bytes > limit_bytes;
+    if (now_above && !*above) {
+      *above = true;
+      return "process RSS " + std::to_string(s.rss_bytes >> 20) +
+             " MiB crossed the " + std::to_string(limit_bytes >> 20) +
+             " MiB watermark";
+    }
+    if (!now_above) *above = false;
+    return std::nullopt;
+  };
+}
+
+}  // namespace sym::margo

@@ -1,0 +1,115 @@
+// margolite/policy.hpp
+//
+// Policy-driven dynamic reconfiguration — the paper's stated future work
+// (§VII): "the creation of policy-driven mechanisms whereby rules governing
+// response to poor performance behavior can be formulated and applied based
+// on performance monitoring".
+//
+// A PolicyEngine runs as a monitoring ULT on a margolite instance. Each
+// period it samples the instance through the *same PVAR tool interface an
+// external tool would use* plus the argolite introspection counters, and
+// evaluates the registered rules. A rule inspects the sampled state and may
+// return an action description; built-in rules implement the remediations
+// the paper's case studies applied by hand:
+//
+//  * adaptive_max_events  — detects a backed-up OFI completion queue (the
+//    num_ofi_events_read PVAR pinned at OFI_max_events, Fig. 12) and raises
+//    the threshold, automating the C5 -> C6 fix;
+//  * handler_autoscale    — detects handler-pool starvation (sustained
+//    ready-ULT backlog) and adds execution streams, automating C1 -> C2;
+//  * rss_watermark        — reports when process memory crosses a limit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "margolite/instance.hpp"
+
+namespace sym::margo {
+
+/// Snapshot handed to rules each monitoring period.
+struct PolicySample {
+  sim::TimeNs now = 0;
+  double num_ofi_events_read = 0;
+  double completion_queue_size = 0;
+  double num_posted_handles = 0;
+  std::size_t ofi_max_events = 0;
+  std::uint64_t blocked_ults = 0;
+  std::uint64_t runnable_ults = 0;
+  std::uint64_t rss_bytes = 0;
+  unsigned handler_es_count = 0;
+};
+
+/// A rule: inspect the sample (and the instance, for remediation) and
+/// return an action description when it fired.
+using PolicyRule =
+    std::function<std::optional<std::string>(Instance&, const PolicySample&)>;
+
+/// Record of one applied action.
+struct PolicyAction {
+  sim::TimeNs at = 0;
+  std::string description;
+};
+
+class PolicyEngine {
+ public:
+  PolicyEngine(Instance& mid, sim::DurationNs period = sim::usec(500))
+      : mid_(mid), period_(period) {}
+  PolicyEngine(const PolicyEngine&) = delete;
+  PolicyEngine& operator=(const PolicyEngine&) = delete;
+
+  void add_rule(std::string name, PolicyRule rule) {
+    rules_.push_back({std::move(name), std::move(rule)});
+  }
+
+  /// Spawn the monitoring ULT. The engine stops when the instance
+  /// finalizes or stop() is called.
+  void start();
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] const std::vector<PolicyAction>& actions() const noexcept {
+    return actions_;
+  }
+  [[nodiscard]] std::uint64_t samples_taken() const noexcept {
+    return samples_;
+  }
+
+  // --- built-in rules --------------------------------------------------------
+
+  /// Fire when num_ofi_events_read has been pinned at OFI_max_events for
+  /// `consecutive` samples; double the threshold up to `cap`.
+  static PolicyRule adaptive_max_events(unsigned consecutive = 3,
+                                        std::size_t cap = 256);
+
+  /// Fire when the handler pool's runnable backlog exceeds
+  /// `backlog_per_es` ULTs per ES for `consecutive` samples; add one ES up
+  /// to `max_es`.
+  static PolicyRule handler_autoscale(double backlog_per_es = 4.0,
+                                      unsigned consecutive = 3,
+                                      unsigned max_es = 64);
+
+  /// Fire (once per crossing) when RSS exceeds `limit_bytes`.
+  static PolicyRule rss_watermark(std::uint64_t limit_bytes);
+
+ private:
+  struct NamedRule {
+    std::string name;
+    PolicyRule rule;
+  };
+
+  void monitor_loop();
+  [[nodiscard]] PolicySample take_sample();
+
+  Instance& mid_;
+  sim::DurationNs period_;
+  std::vector<NamedRule> rules_;
+  std::vector<PolicyAction> actions_;
+  std::uint64_t samples_ = 0;
+  bool stopped_ = false;
+  bool started_ = false;
+};
+
+}  // namespace sym::margo

@@ -1,0 +1,418 @@
+#include "merclite/core.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+#include "argolite/runtime.hpp"
+
+namespace sym::hg {
+
+// ---------------------------------------------------------------------------
+// RpcHeader wire format
+// ---------------------------------------------------------------------------
+
+void put(BufWriter& w, const RpcHeader& h) {
+  put(w, h.rpc_id);
+  put(w, h.provider_id);
+  put(w, h.op_seq);
+  put(w, h.breadcrumb);
+  put(w, h.request_id);
+  put(w, h.trace_order);
+  put(w, h.lamport);
+  put(w, h.flags);
+  put(w, h.body_size);
+}
+
+void get(BufReader& r, RpcHeader& h) {
+  get(r, h.rpc_id);
+  get(r, h.provider_id);
+  get(r, h.op_seq);
+  get(r, h.breadcrumb);
+  get(r, h.request_id);
+  get(r, h.trace_order);
+  get(r, h.lamport);
+  get(r, h.flags);
+  get(r, h.body_size);
+}
+
+std::size_t rpc_header_wire_size() noexcept {
+  static const std::size_t size = [] {
+    BufWriter w;
+    put(w, RpcHeader{});
+    return w.size();
+  }();
+  return size;
+}
+
+// ---------------------------------------------------------------------------
+// Class
+// ---------------------------------------------------------------------------
+
+Class::Class(ofi::Fabric& fabric, sim::Process& process, ClassConfig config)
+    : fabric_(fabric),
+      process_(process),
+      config_(config),
+      endpoint_(fabric.create_endpoint(process)) {
+  register_pvars();
+}
+
+void Class::register_pvars() {
+  // Table II rows (NO_OBJECT) ------------------------------------------------
+  pvars_.add({"num_posted_handles", "Number of currently posted RPC handles",
+              PvarClass::kLevel, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(posted_.size());
+             });
+  pvars_.add({"completion_queue_size",
+              "Number of events in the completion callback queue",
+              PvarClass::kState, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(callback_queue_.size());
+             });
+  pvars_.add({"num_ofi_events_read",
+              "Number of OFI completion events last read",
+              PvarClass::kLevel, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(last_ofi_events_read_);
+             });
+  pvars_.add({"num_rpcs_invoked", "Number of RPCs invoked by instance",
+              PvarClass::kCounter, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(num_rpcs_invoked_);
+             });
+
+  // Table II rows (HANDLE-bound timers) --------------------------------------
+  pvars_.add({"internal_rdma_transfer_time",
+              "Time taken to transfer additional RPC metadata through RDMA",
+              PvarClass::kTimer, PvarBind::kHandle},
+             [](const Handle* h) { return h->timer(kHtInternalRdma); });
+  pvars_.add({"input_serialization_time",
+              "Time taken to serialize input on origin", PvarClass::kTimer,
+              PvarBind::kHandle},
+             [](const Handle* h) { return h->timer(kHtInputSer); });
+  pvars_.add({"input_deserialization_time",
+              "Time taken to de-serialize input on target", PvarClass::kTimer,
+              PvarBind::kHandle},
+             [](const Handle* h) { return h->timer(kHtInputDeser); });
+  pvars_.add({"output_serialization_time",
+              "Time taken to serialize output on target", PvarClass::kTimer,
+              PvarBind::kHandle},
+             [](const Handle* h) { return h->timer(kHtOutputSer); });
+  pvars_.add({"output_deserialization_time",
+              "Time taken to de-serialize output on origin", PvarClass::kTimer,
+              PvarBind::kHandle},
+             [](const Handle* h) { return h->timer(kHtOutputDeser); });
+  pvars_.add({"origin_completion_callback_time",
+              "Delay between the arrival of RPC response and invocation of "
+              "completion callback",
+              PvarClass::kTimer, PvarBind::kHandle},
+             [](const Handle* h) { return h->timer(kHtOriginCb); });
+
+  // Additional exported metrics exercising the remaining PVAR classes -------
+  pvars_.add({"num_rpcs_handled", "Number of RPC requests handled by instance",
+              PvarClass::kCounter, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(num_rpcs_handled_);
+             });
+  pvars_.add({"eager_buffer_size", "Size of the eager message buffer",
+              PvarClass::kSize, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(config_.eager_limit);
+             });
+  pvars_.add({"eager_overflow_count",
+              "Requests whose input overflowed the eager buffer",
+              PvarClass::kCounter, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(eager_overflows_);
+             });
+  pvars_.add({"bulk_bytes_transferred",
+              "Total bytes moved through the bulk interface",
+              PvarClass::kCounter, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(bulk_bytes_total_);
+             });
+  pvars_.add({"ofi_cq_high_watermark",
+              "Highest observed depth of the OFI completion queue",
+              PvarClass::kHighWatermark, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(endpoint_.cq().high_watermark());
+             });
+  pvars_.add({"callback_queue_high_watermark",
+              "Highest observed depth of the completion callback queue",
+              PvarClass::kHighWatermark, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(callback_queue_hwm_);
+             });
+  pvars_.add({"min_ofi_events_read",
+              "Lowest non-trivial OFI event batch read by progress",
+              PvarClass::kLowWatermark, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return min_ofi_events_read_ == ~std::size_t{0}
+                          ? 0.0
+                          : static_cast<double>(min_ofi_events_read_);
+             });
+}
+
+RpcId Class::register_rpc(const std::string& name, ArrivalCallback on_arrival) {
+  const RpcId id = sim::fnv1a64(name.data(), name.size());
+  rpc_names_[id] = name;
+  if (on_arrival) rpc_handlers_[id] = std::move(on_arrival);
+  return id;
+}
+
+const std::string* Class::rpc_name(RpcId id) const {
+  auto it = rpc_names_.find(id);
+  return it == rpc_names_.end() ? nullptr : &it->second;
+}
+
+HandlePtr Class::create_handle(ofi::EpAddr dest, RpcId rpc,
+                               std::uint16_t provider_id) {
+  auto h = std::make_shared<Handle>();
+  h->header.rpc_id = rpc;
+  h->header.provider_id = provider_id;
+  h->peer_ = dest;
+  return h;
+}
+
+sim::DurationNs Class::ser_cost(std::size_t bytes) const noexcept {
+  return config_.ser_base +
+         static_cast<sim::DurationNs>(std::llround(
+             static_cast<double>(bytes) * config_.ser_ns_per_byte));
+}
+
+sim::DurationNs Class::deser_cost(std::size_t bytes) const noexcept {
+  return config_.deser_base +
+         static_cast<sim::DurationNs>(std::llround(
+             static_cast<double>(bytes) * config_.deser_ns_per_byte));
+}
+
+void Class::charge_compute(sim::DurationNs d) {
+  // Outside ULT context (unit tests driving the class directly) the cost is
+  // simply skipped: there is no ES to occupy.
+  if (abt::self() != nullptr) abt::compute(d);
+}
+
+void Class::forward(const HandlePtr& h, std::vector<std::byte> input,
+                    CompletionCallback on_complete) {
+  assert(!h->target_side_ && "forward() on a target-side handle");
+  h->header.op_seq = next_op_seq_++;
+  h->header.body_size = input.size();
+
+  // t2 -> t3: input serialization on the origin, charged to the calling ULT
+  // and recorded in the HANDLE-bound PVAR.
+  const auto cost = ser_cost(input.size());
+  h->set_timer(kHtInputSer, static_cast<double>(cost));
+  charge_compute(cost);
+
+  h->body = std::move(input);
+  posted_[h->header.op_seq] = h;
+  completion_cbs_[h->header.op_seq] = std::move(on_complete);
+  ++num_rpcs_invoked_;
+
+  // Build the wire message: header + body. If the body exceeds the eager
+  // limit only the eager portion is charged to the wire here; the target
+  // fetches the remainder with an internal RDMA before dispatch (t3->t4).
+  const std::size_t header_size = rpc_header_wire_size();
+  std::uint64_t wire_bytes = 0;  // 0 => full size
+  if (h->body.size() > config_.eager_limit) {
+    h->header.flags |= kFlagEagerOverflow;
+    ++eager_overflows_;
+    wire_bytes = header_size + config_.eager_limit;
+  }
+
+  BufWriter w;
+  put(w, h->header);
+  w.write_raw(h->body.data(), h->body.size());
+  endpoint_.post_send(h->peer_, kTagRequest, w.take(), /*context=*/0,
+                      wire_bytes, h->attachment);
+}
+
+void Class::respond(const HandlePtr& h, std::vector<std::byte> output,
+                    SentCallback on_sent) {
+  assert(h->target_side_ && "respond() on an origin-side handle");
+
+  // t9 -> t10: output serialization on the target.
+  const auto cost = ser_cost(output.size());
+  h->set_timer(kHtOutputSer, static_cast<double>(cost));
+  charge_compute(cost);
+
+  h->response_body = std::move(output);
+
+  RpcHeader resp = h->header;
+  resp.flags = h->header.flags & kFlagError;  // only the error bit echoes
+  resp.body_size = h->response_body.size();
+  BufWriter w;
+  put(w, resp);
+  w.write_raw(h->response_body.data(), h->response_body.size());
+
+  // Register the sent-completion continuation (t13) before posting.
+  const std::uint64_t ctx = next_ctx_++;
+  if (on_sent) {
+    HandlePtr hp = h;
+    SentCallback cb = std::move(on_sent);
+    pending_ctx_[ctx] = [this, hp, cb = std::move(cb)](const ofi::CqEntry&) {
+      enqueue_callback([hp, cb] { cb(hp); });
+    };
+  }
+  endpoint_.post_send(h->peer_, kTagResponse, w.take(), ctx);
+}
+
+void Class::bulk_transfer(const HandlePtr& h, std::uint64_t bytes,
+                          std::function<void()> done) {
+  bulk_bytes_total_ += bytes;
+  const std::uint64_t ctx = next_ctx_++;
+  pending_ctx_[ctx] = [this, done = std::move(done)](const ofi::CqEntry&) {
+    enqueue_callback(done);
+  };
+  endpoint_.post_rdma(h->peer_, bytes, ctx);
+}
+
+bool Class::cancel(const HandlePtr& h) {
+  const auto seq = h->header.op_seq;
+  const bool was_posted = posted_.erase(seq) > 0;
+  completion_cbs_.erase(seq);
+  if (was_posted) ++cancellations_;
+  return was_posted;
+}
+
+void Class::charge_output_deserialize(const HandlePtr& h) {
+  const auto cost = deser_cost(h->response_body.size());
+  h->set_timer(kHtOutputDeser, static_cast<double>(cost));
+  charge_compute(cost);
+}
+
+void Class::charge_input_deserialize(const HandlePtr& h) {
+  // t6 -> t7: input deserialization, charged in the handler ULT.
+  const auto cost = deser_cost(h->body.size());
+  h->set_timer(kHtInputDeser, static_cast<double>(cost));
+  charge_compute(cost);
+}
+
+void Class::enqueue_callback(std::function<void()> fn) {
+  callback_queue_.push_back(QueuedCallback{std::move(fn)});
+  if (callback_queue_.size() > callback_queue_hwm_) {
+    callback_queue_hwm_ = callback_queue_.size();
+  }
+}
+
+void Class::handle_request_arrival(ofi::CqEntry&& entry) {
+  BufReader r(entry.data);
+  auto h = std::make_shared<Handle>();
+  get(r, h->header);
+  h->target_side_ = true;
+  h->peer_ = entry.peer;
+  h->received_at_ = engine().now();  // t3
+  h->body.assign(entry.data.begin() +
+                     static_cast<std::ptrdiff_t>(r.position()),
+                 entry.data.end());
+  h->attachment = std::move(entry.attachment);
+  ++num_rpcs_handled_;
+
+  auto it = rpc_handlers_.find(h->header.rpc_id);
+  if (it == rpc_handlers_.end()) return;  // unknown RPC: drop
+  ArrivalCallback arrival = it->second;   // copy: outlives map mutations
+
+  if ((h->header.flags & kFlagEagerOverflow) != 0) {
+    // t3 -> t4: fetch the overflowing request metadata via internal RDMA,
+    // then dispatch. The elapsed time lands in the HANDLE-bound PVAR.
+    const std::uint64_t remaining =
+        h->header.body_size > config_.eager_limit
+            ? h->header.body_size - config_.eager_limit
+            : 0;
+    const std::uint64_t ctx = next_ctx_++;
+    const sim::TimeNs started = engine().now();
+    pending_ctx_[ctx] = [this, h, arrival = std::move(arrival),
+                         started](const ofi::CqEntry&) {
+      h->set_timer(kHtInternalRdma,
+                   static_cast<double>(engine().now() - started));
+      arrival(h);
+    };
+    endpoint_.post_rdma(h->peer_, remaining, ctx);
+  } else {
+    arrival(h);
+  }
+}
+
+void Class::handle_response_arrival(ofi::CqEntry&& entry) {
+  BufReader r(entry.data);
+  RpcHeader resp;
+  get(r, resp);
+  auto it = posted_.find(resp.op_seq);
+  if (it == posted_.end()) return;  // stale/duplicate
+  HandlePtr h = it->second;
+  posted_.erase(it);
+  h->response_body.assign(entry.data.begin() +
+                              static_cast<std::ptrdiff_t>(r.position()),
+                          entry.data.end());
+  h->response_queued_at_ = engine().now();  // t12
+  // Carry the responder's Lamport clock back to the origin so the tracing
+  // layer can apply the receive-side max+1 update, and surface a
+  // library-level error flag if the target set one.
+  h->header.lamport = resp.lamport;
+  h->header.flags |= (resp.flags & kFlagError);
+
+  auto cbit = completion_cbs_.find(resp.op_seq);
+  if (cbit == completion_cbs_.end()) return;
+  CompletionCallback cb = std::move(cbit->second);
+  completion_cbs_.erase(cbit);
+  enqueue_callback([this, h, cb = std::move(cb)] {
+    // t12 -> t14: origin completion-callback delay.
+    h->set_timer(kHtOriginCb,
+                 static_cast<double>(engine().now() - h->response_queued_at_));
+    cb(h);
+  });
+}
+
+std::size_t Class::progress() {
+  std::vector<ofi::CqEntry> events;
+  const std::size_t n = endpoint_.cq().read(events, config_.max_events);
+  last_ofi_events_read_ = n;
+  if (n > 0 && n < min_ofi_events_read_) min_ofi_events_read_ = n;
+  if (n == 0) return 0;
+
+  charge_compute(config_.progress_base_cost +
+                 static_cast<sim::DurationNs>(n) *
+                     config_.progress_per_event_cost);
+
+  for (auto& ev : events) {
+    switch (ev.kind) {
+      case ofi::CqKind::kRecv:
+        if (ev.tag == kTagRequest) {
+          handle_request_arrival(std::move(ev));
+        } else if (ev.tag == kTagResponse) {
+          handle_response_arrival(std::move(ev));
+        }
+        break;
+      case ofi::CqKind::kSendComplete:
+      case ofi::CqKind::kRdmaComplete: {
+        auto it = pending_ctx_.find(ev.context);
+        if (it != pending_ctx_.end()) {
+          auto fn = std::move(it->second);
+          pending_ctx_.erase(it);
+          fn(ev);
+        }
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+std::size_t Class::trigger(std::size_t max) {
+  std::size_t ran = 0;
+  while (ran < max && !callback_queue_.empty()) {
+    QueuedCallback item = std::move(callback_queue_.front());
+    callback_queue_.pop_front();
+    charge_compute(config_.trigger_dispatch_cost);
+    item.fn();
+    ++ran;
+  }
+  return ran;
+}
+
+bool Class::wait_for_events(sim::DurationNs timeout) {
+  return endpoint_.cq().wait_nonempty(timeout);
+}
+
+}  // namespace sym::hg

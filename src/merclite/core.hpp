@@ -1,0 +1,308 @@
+// merclite/core.hpp
+//
+// merclite: the Mercury-model RPC library. Implements the RPC execution
+// model of the paper's Fig. 2:
+//
+//   origin: forward() serializes input (t2->t3), sends the eager portion and
+//   registers a completion callback; the progress engine matches the
+//   response (t12) and trigger() invokes the callback (t14).
+//
+//   target: progress() receives the request (t3); if the input overflowed
+//   the eager buffer, an internal RDMA fetches the remainder (t3->t4);
+//   the registered arrival callback fires (t4) — margolite uses it to spawn
+//   a handler ULT; respond() serializes output (t9->t10) and the sent
+//   callback fires when the response left the node (t13).
+//
+// The class also hosts the PVAR registry (pvar.hpp) exporting the
+// Table II performance variables.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "merclite/proc.hpp"
+#include "merclite/pvar.hpp"
+#include "simkit/cluster.hpp"
+#include "simkit/time.hpp"
+#include "sofi/fabric.hpp"
+
+namespace sym::hg {
+
+/// RPC identifier: 64-bit FNV-1a hash of the registered name.
+using RpcId = std::uint64_t;
+
+/// Demux tags on the wire.
+inline constexpr std::uint64_t kTagRequest = 1;
+inline constexpr std::uint64_t kTagResponse = 2;
+
+/// Header flags.
+inline constexpr std::uint8_t kFlagEagerOverflow = 0x1;
+inline constexpr std::uint8_t kFlagTracing = 0x2;
+/// Response carries a library-level error (no matching handler/provider).
+inline constexpr std::uint8_t kFlagError = 0x4;
+
+struct ClassConfig {
+  /// Eager buffer limit: request bodies beyond this take the internal-RDMA
+  /// path for the excess (paper §V-B: Sonata's large RPC metadata).
+  std::size_t eager_limit = 4096;
+  /// OFI_max_events: bounded completion-queue read per progress call. The
+  /// paper's default (set inside Mercury) is 16; configuration C6 raises it
+  /// to 64.
+  std::size_t max_events = 16;
+
+  // Serialization cost model, charged as ULT compute.
+  sim::DurationNs ser_base = sim::nsec(3000);
+  double ser_ns_per_byte = 0.8;
+  sim::DurationNs deser_base = sim::nsec(4000);
+  double deser_ns_per_byte = 2.0;
+
+  /// CPU cost of progress-loop event processing (per call + per event).
+  sim::DurationNs progress_base_cost = sim::nsec(2000);
+  sim::DurationNs progress_per_event_cost = sim::nsec(800);
+  /// CPU cost of dispatching one completion callback in trigger().
+  sim::DurationNs trigger_dispatch_cost = sim::nsec(600);
+};
+
+/// Wire header carried by every RPC request, including the SYMBIOSYS
+/// metadata the paper propagates: the 64-bit callpath breadcrumb, the
+/// globally unique request id, the per-request event order counter, and the
+/// Lamport clock.
+struct RpcHeader {
+  RpcId rpc_id = 0;
+  std::uint16_t provider_id = 0;
+  std::uint64_t op_seq = 0;
+  std::uint64_t breadcrumb = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t trace_order = 0;
+  std::uint64_t lamport = 0;
+  std::uint8_t flags = 0;
+  std::uint64_t body_size = 0;
+};
+
+void put(BufWriter& w, const RpcHeader& h);
+void get(BufReader& r, RpcHeader& h);
+
+/// Serialized size of an RpcHeader on the wire.
+[[nodiscard]] std::size_t rpc_header_wire_size() noexcept;
+
+class Class;
+
+/// One RPC operation's state, on either the origin or the target side.
+/// HANDLE-bound PVARs (Table II) live inside the handle and go out of scope
+/// with it, exactly as the paper describes.
+class Handle : public std::enable_shared_from_this<Handle> {
+ public:
+  RpcHeader header;
+  std::vector<std::byte> body;           ///< serialized request input
+  std::vector<std::byte> response_body;  ///< serialized response output
+
+  /// Simulated registered-memory buffer exposed by the origin for bulk
+  /// transfers (Mercury bulk handle). The target may only dereference it
+  /// after a bulk_transfer() on this handle completes. Use the typed
+  /// helpers to access it.
+  std::shared_ptr<const void> attachment;
+  std::uint64_t attachment_bytes = 0;
+
+  template <typename T>
+  void attach(std::shared_ptr<const T> data, std::uint64_t bytes) {
+    attachment = std::move(data);
+    attachment_bytes = bytes;
+  }
+  template <typename T>
+  [[nodiscard]] const T* attached() const noexcept {
+    return static_cast<const T*>(attachment.get());
+  }
+
+  [[nodiscard]] bool target_side() const noexcept { return target_side_; }
+  [[nodiscard]] ofi::EpAddr peer_addr() const noexcept { return peer_; }
+
+  /// HANDLE-bound timer PVAR storage (values in nanoseconds).
+  void set_timer(HandleTimer t, double ns) noexcept { timers_[t] = ns; }
+  [[nodiscard]] double timer(HandleTimer t) const noexcept {
+    return timers_[t];
+  }
+
+  /// t3 on the target: when the request surfaced in progress().
+  [[nodiscard]] sim::TimeNs received_at() const noexcept {
+    return received_at_;
+  }
+  /// t12 on the origin: when the response completion was queued.
+  [[nodiscard]] sim::TimeNs response_queued_at() const noexcept {
+    return response_queued_at_;
+  }
+
+ private:
+  friend class Class;
+  bool target_side_ = false;
+  ofi::EpAddr peer_ = ofi::kInvalidAddr;
+  sim::TimeNs received_at_ = 0;
+  sim::TimeNs response_queued_at_ = 0;
+  double timers_[kHtCount] = {};
+};
+
+using HandlePtr = std::shared_ptr<Handle>;
+
+/// Target-side: invoked from progress() when a request is ready to execute
+/// (the paper's t4). margolite spawns the handler ULT here.
+using ArrivalCallback = std::function<void(HandlePtr)>;
+/// Origin-side: invoked from trigger() when the response is available (t14).
+using CompletionCallback = std::function<void(HandlePtr)>;
+/// Target-side: invoked from trigger() when the response has been sent (t13).
+using SentCallback = std::function<void(HandlePtr)>;
+
+/// One RPC library instance per simulated process.
+class Class {
+ public:
+  Class(ofi::Fabric& fabric, sim::Process& process, ClassConfig config = {});
+  Class(const Class&) = delete;
+  Class& operator=(const Class&) = delete;
+
+  [[nodiscard]] ofi::Endpoint& endpoint() noexcept { return endpoint_; }
+  [[nodiscard]] ofi::EpAddr addr() const noexcept { return endpoint_.addr(); }
+  [[nodiscard]] const ClassConfig& config() const noexcept { return config_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return fabric_.engine(); }
+  [[nodiscard]] sim::Process& process() noexcept { return process_; }
+
+  /// OFI_max_events is runtime-tunable (configuration C6 raises it).
+  void set_max_events(std::size_t n) noexcept { config_.max_events = n; }
+
+  /// Register an RPC by name. The id is the FNV-1a hash of the name, so
+  /// origin and target agree without an exchange. `on_arrival` may be empty
+  /// on pure clients.
+  RpcId register_rpc(const std::string& name, ArrivalCallback on_arrival);
+
+  /// Reverse lookup for reporting; nullptr if unknown.
+  [[nodiscard]] const std::string* rpc_name(RpcId id) const;
+
+  /// Create an origin-side handle addressed to `dest`.
+  [[nodiscard]] HandlePtr create_handle(ofi::EpAddr dest, RpcId rpc,
+                                        std::uint16_t provider_id);
+
+  /// Origin: serialize (charging t2->t3 cost), post the request, register
+  /// the completion callback. Must run in ULT context.
+  void forward(const HandlePtr& h, std::vector<std::byte> input,
+               CompletionCallback on_complete);
+
+  /// Target: serialize the output (t9->t10), post the response, register
+  /// the sent callback (t13). Must run in ULT context.
+  void respond(const HandlePtr& h, std::vector<std::byte> output,
+               SentCallback on_sent);
+
+  /// Target: pull `bytes` of bulk data from the origin of `h` (Mercury's
+  /// bulk interface used by BAKE and sdskv_put_packed). `done` runs from
+  /// trigger() when the transfer completes.
+  void bulk_transfer(const HandlePtr& h, std::uint64_t bytes,
+                     std::function<void()> done);
+
+  /// Cancel a posted origin-side operation: the handle is unposted and its
+  /// completion callback is dropped, so a late response is silently
+  /// discarded (HG_Cancel semantics). Returns true if the op was pending.
+  bool cancel(const HandlePtr& h);
+
+  /// Charge response-output deserialization on the calling ULT and record
+  /// the handle timer (origin side, after completion).
+  void charge_output_deserialize(const HandlePtr& h);
+
+  /// Charge request-input deserialization (t6->t7) on the calling ULT and
+  /// record the handle timer (target side, at handler start).
+  void charge_input_deserialize(const HandlePtr& h);
+
+  /// Read up to max_events OFI completions and convert them into callback
+  /// queue entries. Returns the number of OFI events read (the
+  /// num_ofi_events_read PVAR). Charges progress CPU cost if in ULT context.
+  std::size_t progress();
+
+  /// Run up to `max` queued completion callbacks. Returns how many ran.
+  std::size_t trigger(std::size_t max = ~std::size_t{0});
+
+  /// Block the calling ULT until OFI events are pending or `timeout`
+  /// elapses. Returns true if events are pending.
+  bool wait_for_events(sim::DurationNs timeout);
+
+  /// True if either the OFI CQ or the callback queue holds work.
+  [[nodiscard]] bool has_pending_work() const noexcept {
+    return !endpoint_.cq().empty() || !callback_queue_.empty();
+  }
+
+  // --- PVAR interface (paper §IV-B2) ---
+  [[nodiscard]] PvarRegistry& pvars() noexcept { return pvars_; }
+  [[nodiscard]] PvarSession pvar_session_init() {
+    return PvarSession(pvars_, next_session_id_++);
+  }
+
+  // --- raw metrics backing the NO_OBJECT PVARs ---
+  [[nodiscard]] std::size_t num_posted_handles() const noexcept {
+    return posted_.size();
+  }
+  [[nodiscard]] std::size_t completion_queue_size() const noexcept {
+    return callback_queue_.size();
+  }
+  [[nodiscard]] std::size_t num_ofi_events_read() const noexcept {
+    return last_ofi_events_read_;
+  }
+  [[nodiscard]] std::uint64_t num_rpcs_invoked() const noexcept {
+    return num_rpcs_invoked_;
+  }
+  [[nodiscard]] std::uint64_t num_rpcs_handled() const noexcept {
+    return num_rpcs_handled_;
+  }
+  [[nodiscard]] std::uint64_t bulk_bytes_total() const noexcept {
+    return bulk_bytes_total_;
+  }
+  [[nodiscard]] std::uint64_t eager_overflows() const noexcept {
+    return eager_overflows_;
+  }
+  [[nodiscard]] std::uint64_t cancellations() const noexcept {
+    return cancellations_;
+  }
+
+ private:
+  struct QueuedCallback {
+    std::function<void()> fn;
+  };
+
+  void handle_request_arrival(ofi::CqEntry&& entry);
+  void handle_response_arrival(ofi::CqEntry&& entry);
+  void enqueue_callback(std::function<void()> fn);
+  void charge_compute(sim::DurationNs d);
+  [[nodiscard]] sim::DurationNs ser_cost(std::size_t bytes) const noexcept;
+  [[nodiscard]] sim::DurationNs deser_cost(std::size_t bytes) const noexcept;
+  void register_pvars();
+
+  ofi::Fabric& fabric_;
+  sim::Process& process_;
+  ClassConfig config_;
+  ofi::Endpoint& endpoint_;
+
+  std::unordered_map<RpcId, ArrivalCallback> rpc_handlers_;
+  std::unordered_map<RpcId, std::string> rpc_names_;
+
+  std::uint64_t next_op_seq_ = 1;
+  std::unordered_map<std::uint64_t, HandlePtr> posted_;  // op_seq -> handle
+  std::unordered_map<std::uint64_t, CompletionCallback> completion_cbs_;
+
+  std::uint64_t next_ctx_ = 1;
+  std::unordered_map<std::uint64_t, std::function<void(const ofi::CqEntry&)>>
+      pending_ctx_;  // send-complete / rdma-complete continuations
+
+  std::deque<QueuedCallback> callback_queue_;
+
+  PvarRegistry pvars_;
+  std::uint32_t next_session_id_ = 1;
+
+  std::size_t last_ofi_events_read_ = 0;
+  std::size_t min_ofi_events_read_ = ~std::size_t{0};
+  std::uint64_t num_rpcs_invoked_ = 0;
+  std::uint64_t num_rpcs_handled_ = 0;
+  std::uint64_t bulk_bytes_total_ = 0;
+  std::uint64_t eager_overflows_ = 0;
+  std::uint64_t cancellations_ = 0;
+  std::size_t callback_queue_hwm_ = 0;
+};
+
+}  // namespace sym::hg

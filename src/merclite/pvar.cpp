@@ -1,0 +1,75 @@
+#include "merclite/pvar.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sym::hg {
+
+const char* to_string(PvarClass c) noexcept {
+  switch (c) {
+    case PvarClass::kState: return "STATE";
+    case PvarClass::kCounter: return "COUNTER";
+    case PvarClass::kTimer: return "TIMER";
+    case PvarClass::kLevel: return "LEVEL";
+    case PvarClass::kSize: return "SIZE";
+    case PvarClass::kHighWatermark: return "HIGHWATERMARK";
+    case PvarClass::kLowWatermark: return "LOWWATERMARK";
+  }
+  return "UNKNOWN";
+}
+
+const char* to_string(PvarBind b) noexcept {
+  switch (b) {
+    case PvarBind::kNoObject: return "NO_OBJECT";
+    case PvarBind::kHandle: return "HANDLE";
+  }
+  return "UNKNOWN";
+}
+
+int PvarRegistry::add(PvarInfo info, PvarReader reader) {
+  assert(reader && "PVAR requires a reader");
+  vars_.push_back(Entry{std::move(info), std::move(reader)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+int PvarRegistry::find(const std::string& name) const noexcept {
+  for (std::size_t i = 0; i < vars_.size(); ++i) {
+    if (vars_[i].info.name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+PvarHandle PvarSession::alloc(int index) {
+  if (registry_ == nullptr) {
+    throw std::logic_error("PvarSession: alloc after finalize");
+  }
+  if (index < 0 || index >= registry_->count()) {
+    throw std::out_of_range("PvarSession: bad PVAR index");
+  }
+  ++allocated_;
+  return PvarHandle{index};
+}
+
+PvarHandle PvarSession::alloc(const std::string& name) {
+  if (registry_ == nullptr) {
+    throw std::logic_error("PvarSession: alloc after finalize");
+  }
+  const int idx = registry_->find(name);
+  if (idx < 0) return PvarHandle{};
+  ++allocated_;
+  return PvarHandle{idx};
+}
+
+double PvarSession::read(PvarHandle h, const Handle* obj) const {
+  if (registry_ == nullptr) {
+    throw std::logic_error("PvarSession: read after finalize");
+  }
+  if (!h.valid()) throw std::invalid_argument("PvarSession: invalid handle");
+  if (registry_->info(h.index).bind == PvarBind::kHandle && obj == nullptr) {
+    throw std::invalid_argument(
+        "PvarSession: HANDLE-bound PVAR requires an hg handle");
+  }
+  return registry_->read(h.index, obj);
+}
+
+}  // namespace sym::hg

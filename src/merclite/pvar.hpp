@@ -1,0 +1,143 @@
+// merclite/pvar.hpp
+//
+// The performance-variable (PVAR) exchange interface inside the RPC
+// library — the paper's §IV-B contribution, modeled on the MPI Tools
+// Information Interface. External tools (the SYMBIOSYS layer in margolite)
+// access library internals through sessions:
+//
+//   1. initialize a PVAR session  -> PvarSession
+//   2. query supported PVARs      -> count() / info(i)
+//   3. allocate handles           -> alloc()
+//   4. sample                     -> read(handle [, hg handle object])
+//   5. finalize the session       -> PvarSession destructor / finalize()
+//
+// PVAR classes follow Table I; the concrete variables follow Table II.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace sym::hg {
+
+class Handle;
+
+/// Table I: classes of performance variables.
+enum class PvarClass : std::uint8_t {
+  kState,          ///< one of a set of discrete states
+  kCounter,        ///< monotonically increasing value
+  kTimer,          ///< interval event timer
+  kLevel,          ///< utilization level of a resource
+  kSize,           ///< size of a resource
+  kHighWatermark,  ///< highest recorded value
+  kLowWatermark,   ///< lowest recorded value
+};
+
+[[nodiscard]] const char* to_string(PvarClass c) noexcept;
+
+/// Binding of a PVAR to a library object. NO_OBJECT PVARs are global to the
+/// library instance; HANDLE PVARs live and die with one RPC handle.
+enum class PvarBind : std::uint8_t {
+  kNoObject,
+  kHandle,
+};
+
+[[nodiscard]] const char* to_string(PvarBind b) noexcept;
+
+struct PvarInfo {
+  std::string name;
+  std::string description;
+  PvarClass cls{};
+  PvarBind bind{};
+};
+
+/// Reader callback: samples a PVAR's current value. For HANDLE-bound PVARs
+/// the second argument must be the bound handle; NO_OBJECT readers ignore it.
+using PvarReader = std::function<double(const Handle*)>;
+
+/// The library-side registry of exported PVARs (owned by hg::Class).
+class PvarRegistry {
+ public:
+  /// Register a PVAR; returns its stable index.
+  int add(PvarInfo info, PvarReader reader);
+
+  [[nodiscard]] int count() const noexcept {
+    return static_cast<int>(vars_.size());
+  }
+  [[nodiscard]] const PvarInfo& info(int index) const {
+    return vars_.at(static_cast<std::size_t>(index)).info;
+  }
+  [[nodiscard]] double read(int index, const Handle* h) const {
+    return vars_.at(static_cast<std::size_t>(index)).reader(h);
+  }
+
+  /// Index lookup by name; -1 if unknown.
+  [[nodiscard]] int find(const std::string& name) const noexcept;
+
+ private:
+  struct Entry {
+    PvarInfo info;
+    PvarReader reader;
+  };
+  std::vector<Entry> vars_;
+};
+
+/// An allocated handle on one PVAR within a session.
+struct PvarHandle {
+  int index = -1;
+  [[nodiscard]] bool valid() const noexcept { return index >= 0; }
+};
+
+/// A tool's sampling session against one hg::Class's registry.
+class PvarSession {
+ public:
+  PvarSession(const PvarRegistry& registry, std::uint32_t session_id)
+      : registry_(&registry), id_(session_id) {}
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] bool active() const noexcept { return registry_ != nullptr; }
+
+  [[nodiscard]] int count() const { return registry_->count(); }
+  [[nodiscard]] const PvarInfo& info(int index) const {
+    return registry_->info(index);
+  }
+
+  /// Allocate a handle for the PVAR at `index`.
+  [[nodiscard]] PvarHandle alloc(int index);
+
+  /// Allocate by name; returns an invalid handle if the name is unknown.
+  [[nodiscard]] PvarHandle alloc(const std::string& name);
+
+  /// Sample a PVAR. HANDLE-bound PVARs require the bound hg handle.
+  [[nodiscard]] double read(PvarHandle h, const Handle* obj = nullptr) const;
+
+  /// Release all handles and detach from the registry.
+  void finalize() noexcept {
+    registry_ = nullptr;
+    allocated_ = 0;
+  }
+
+  [[nodiscard]] std::uint32_t allocated_handles() const noexcept {
+    return allocated_;
+  }
+
+ private:
+  const PvarRegistry* registry_;
+  std::uint32_t id_;
+  std::uint32_t allocated_ = 0;
+};
+
+/// Indices of the HANDLE-bound timers stored inline in every hg::Handle
+/// (Table II's TIMER/HANDLE rows plus the origin-side completion callback).
+enum HandleTimer : std::uint8_t {
+  kHtInternalRdma = 0,   ///< t3->t4 extra-metadata RDMA on the target
+  kHtInputSer,           ///< t2->t3 input serialization on the origin
+  kHtInputDeser,         ///< t6->t7 input deserialization on the target
+  kHtOutputSer,          ///< t9->t10 output serialization on the target
+  kHtOutputDeser,        ///< response deserialization on the origin
+  kHtOriginCb,           ///< t12->t14 origin completion-callback delay
+  kHtCount,
+};
+
+}  // namespace sym::hg

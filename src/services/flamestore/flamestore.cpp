@@ -1,0 +1,260 @@
+#include "services/flamestore/flamestore.hpp"
+
+#include "argolite/runtime.hpp"
+
+namespace sym::flame {
+namespace {
+
+constexpr const char* kRegisterRpc = "flamestore_register_model_rpc";
+constexpr const char* kWriteLayerRpc = "flamestore_write_layer_rpc";
+constexpr const char* kReadLayerRpc = "flamestore_read_layer_rpc";
+constexpr const char* kGetModelRpc = "flamestore_get_model_rpc";
+constexpr const char* kListModelsRpc = "flamestore_list_models_rpc";
+
+constexpr sim::DurationNs kMetaOpCost = sim::nsec(1200);
+constexpr double kJsonValidateNsPerByte = 1.0;
+constexpr double kWeightStageNsPerByte = 0.05;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Provider
+// ---------------------------------------------------------------------------
+
+Provider::Provider(margo::Instance& mid, std::uint16_t provider_id)
+    : mid_(mid), provider_id_(provider_id), device_(mid.engine()) {
+  mid_.register_rpc(kRegisterRpc, provider_id_,
+                    [this](margo::Request& r) { handle_register(r); });
+  mid_.register_rpc(kWriteLayerRpc, provider_id_,
+                    [this](margo::Request& r) { handle_write_layer(r); });
+  mid_.register_rpc(kReadLayerRpc, provider_id_,
+                    [this](margo::Request& r) { handle_read_layer(r); });
+  mid_.register_rpc(kGetModelRpc, provider_id_,
+                    [this](margo::Request& r) { handle_get_model(r); });
+  mid_.register_rpc(kListModelsRpc, provider_id_,
+                    [this](margo::Request& r) { handle_list_models(r); });
+}
+
+void Provider::handle_register(margo::Request& req) {
+  auto r = req.reader();
+  std::string name, arch;
+  hg::get(r, name);
+  hg::get(r, arch);
+  if (models_.count(name) != 0) {
+    req.respond_value(static_cast<std::uint8_t>(Status::kExists));
+    return;
+  }
+  // Validate the architecture document (real parse + modeled cost).
+  abt::compute(kMetaOpCost + static_cast<sim::DurationNs>(
+                                 arch.size() * kJsonValidateNsPerByte));
+  try {
+    ModelEntry entry;
+    entry.architecture = json::parse(arch);
+    models_.emplace(name, std::move(entry));
+    mid_.process().add_rss(static_cast<std::int64_t>(arch.size()));
+    req.respond_value(static_cast<std::uint8_t>(Status::kOk));
+  } catch (const json::ParseError&) {
+    req.respond_value(static_cast<std::uint8_t>(Status::kBadJson));
+  }
+}
+
+void Provider::handle_write_layer(margo::Request& req) {
+  auto r = req.reader();
+  std::string model, layer;
+  std::uint64_t bytes = 0;
+  hg::get(r, model);
+  hg::get(r, layer);
+  hg::get(r, bytes);
+  auto it = models_.find(model);
+  if (it == models_.end()) {
+    req.respond_value(static_cast<std::uint8_t>(Status::kNoModel));
+    return;
+  }
+  // Weights come through the bulk interface, get staged, then persisted.
+  req.bulk_pull(bytes);
+  abt::compute(static_cast<sim::DurationNs>(
+      static_cast<double>(bytes) * kWeightStageNsPerByte));
+  const auto* payload = req.handle()->attached<std::vector<std::byte>>();
+  auto& slot = it->second.layers[layer];
+  const auto before = static_cast<std::int64_t>(slot.size());
+  slot = payload != nullptr ? *payload
+                            : std::vector<std::byte>(bytes);
+  const auto delta = static_cast<std::int64_t>(slot.size()) - before;
+  bytes_stored_ = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(bytes_stored_) + delta);
+  mid_.process().add_rss(delta);
+  device_.write(bytes);
+  req.respond_value(static_cast<std::uint8_t>(Status::kOk));
+}
+
+void Provider::handle_read_layer(margo::Request& req) {
+  auto r = req.reader();
+  std::string model, layer;
+  hg::get(r, model);
+  hg::get(r, layer);
+  hg::BufWriter w;
+  auto it = models_.find(model);
+  if (it == models_.end()) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kNoModel));
+    hg::put(w, std::uint32_t{0});
+    req.respond(w.take());
+    return;
+  }
+  auto lit = it->second.layers.find(layer);
+  if (lit == it->second.layers.end()) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kNoLayer));
+    hg::put(w, std::uint32_t{0});
+    req.respond(w.take());
+    return;
+  }
+  hg::put(w, static_cast<std::uint8_t>(Status::kOk));
+  hg::put(w, static_cast<std::uint32_t>(lit->second.size()));
+  w.write_raw(lit->second.data(), lit->second.size());
+  req.respond(w.take());
+}
+
+void Provider::handle_get_model(margo::Request& req) {
+  auto r = req.reader();
+  std::string name;
+  hg::get(r, name);
+  abt::compute(kMetaOpCost);
+  hg::BufWriter w;
+  auto it = models_.find(name);
+  if (it == models_.end()) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kNoModel));
+    hg::put(w, std::string());
+    hg::put(w, std::vector<std::string>{});
+    hg::put(w, std::uint64_t{0});
+    req.respond(w.take());
+    return;
+  }
+  std::vector<std::string> layers;
+  std::uint64_t total = 0;
+  for (const auto& [layer, weights] : it->second.layers) {
+    layers.push_back(layer);
+    total += weights.size();
+  }
+  hg::put(w, static_cast<std::uint8_t>(Status::kOk));
+  hg::put(w, json::dump(it->second.architecture));
+  hg::put(w, layers);
+  hg::put(w, total);
+  req.respond(w.take());
+}
+
+void Provider::handle_list_models(margo::Request& req) {
+  abt::compute(kMetaOpCost);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) names.push_back(name);
+  req.respond_value(names);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(margo::Instance& mid)
+    : mid_(mid),
+      register_id_(mid.register_client_rpc(kRegisterRpc)),
+      write_id_(mid.register_client_rpc(kWriteLayerRpc)),
+      read_id_(mid.register_client_rpc(kReadLayerRpc)),
+      get_id_(mid.register_client_rpc(kGetModelRpc)),
+      list_id_(mid.register_client_rpc(kListModelsRpc)) {}
+
+Status Client::register_model(ofi::EpAddr target, std::uint16_t provider,
+                              const std::string& name,
+                              const std::string& architecture_json) {
+  hg::BufWriter w;
+  hg::put(w, name);
+  hg::put(w, architecture_json);
+  return static_cast<Status>(hg::decode<std::uint8_t>(
+      mid_.forward(target, provider, register_id_, w.take())));
+}
+
+Status Client::write_layer(ofi::EpAddr target, std::uint16_t provider,
+                           const std::string& model, const std::string& layer,
+                           std::vector<std::byte> weights) {
+  const std::uint64_t bytes = weights.size();
+  auto shared =
+      std::make_shared<const std::vector<std::byte>>(std::move(weights));
+  hg::BufWriter w;
+  hg::put(w, model);
+  hg::put(w, layer);
+  hg::put(w, bytes);
+  auto op = mid_.forward_async(target, provider, write_id_, w.take(), shared,
+                               bytes);
+  return static_cast<Status>(hg::decode<std::uint8_t>(op->wait()));
+}
+
+Status Client::read_layer(ofi::EpAddr target, std::uint16_t provider,
+                          const std::string& model, const std::string& layer,
+                          std::vector<std::byte>* weights) {
+  hg::BufWriter w;
+  hg::put(w, model);
+  hg::put(w, layer);
+  const auto resp = mid_.forward(target, provider, read_id_, w.take());
+  hg::BufReader r(resp);
+  std::uint8_t status = 0;
+  std::uint32_t n = 0;
+  hg::get(r, status);
+  hg::get(r, n);
+  if (weights != nullptr) {
+    weights->resize(n);
+    if (n > 0) r.read_raw(weights->data(), n);
+  }
+  return static_cast<Status>(status);
+}
+
+Status Client::get_model(ofi::EpAddr target, std::uint16_t provider,
+                         const std::string& name, ModelInfo* info) {
+  const auto resp =
+      mid_.forward(target, provider, get_id_, hg::encode(name));
+  hg::BufReader r(resp);
+  std::uint8_t status = 0;
+  hg::get(r, status);
+  ModelInfo out;
+  out.name = name;
+  hg::get(r, out.architecture_json);
+  hg::get(r, out.layers);
+  hg::get(r, out.total_bytes);
+  if (info != nullptr) *info = std::move(out);
+  return static_cast<Status>(status);
+}
+
+std::vector<std::string> Client::list_models(ofi::EpAddr target,
+                                             std::uint16_t provider) {
+  return hg::decode<std::vector<std::string>>(
+      mid_.forward(target, provider, list_id_, {}));
+}
+
+Status Client::save_model(
+    ofi::EpAddr target, std::uint16_t provider, const std::string& name,
+    const std::string& architecture_json,
+    const std::map<std::string, std::vector<std::byte>>& layers) {
+  const auto reg = register_model(target, provider, name, architecture_json);
+  if (reg != Status::kOk && reg != Status::kExists) return reg;
+
+  // All layer transfers in flight concurrently (the checkpoint pattern).
+  struct Pending {
+    margo::PendingOpPtr op;
+  };
+  std::vector<Pending> ops;
+  for (const auto& [layer, weights] : layers) {
+    const std::uint64_t bytes = weights.size();
+    auto shared = std::make_shared<const std::vector<std::byte>>(weights);
+    hg::BufWriter w;
+    hg::put(w, name);
+    hg::put(w, layer);
+    hg::put(w, bytes);
+    ops.push_back({mid_.forward_async(target, provider, write_id_, w.take(),
+                                      shared, bytes)});
+  }
+  Status worst = Status::kOk;
+  for (auto& p : ops) {
+    const auto s = static_cast<Status>(hg::decode<std::uint8_t>(p.op->wait()));
+    if (s != Status::kOk) worst = s;
+  }
+  return worst;
+}
+
+}  // namespace sym::flame

@@ -1,0 +1,114 @@
+// services/flamestore/flamestore.hpp
+//
+// FlameStore-lite: "a data service designed to support distributed deep
+// learning workflows" (paper §I) — the remaining Mochi-enabled service
+// named by the paper. A FlameStore provider stores neural-network models:
+// the architecture travels as a JSON document (RPC metadata, Sonata-style),
+// the layer weights as blobs through the bulk interface (BAKE-style), so a
+// checkpoint exercises both transfer paths at once.
+//
+// RPCs: flamestore_register_model_rpc, flamestore_write_layer_rpc (bulk),
+//       flamestore_read_layer_rpc, flamestore_get_model_rpc,
+//       flamestore_list_models_rpc.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "services/bake/bake.hpp"  // StorageDevice
+#include "services/sonata/json.hpp"
+
+namespace sym::flame {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNoModel = 1,
+  kNoLayer = 2,
+  kExists = 3,
+  kBadJson = 4,
+};
+
+struct ModelInfo {
+  std::string name;
+  std::string architecture_json;
+  std::vector<std::string> layers;
+  std::uint64_t total_bytes = 0;
+};
+
+class Provider {
+ public:
+  Provider(margo::Instance& mid, std::uint16_t provider_id);
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+
+  [[nodiscard]] std::size_t model_count() const noexcept {
+    return models_.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_stored() const noexcept {
+    return bytes_stored_;
+  }
+  [[nodiscard]] bake::StorageDevice& device() noexcept { return device_; }
+
+ private:
+  struct ModelEntry {
+    json::Value architecture;
+    std::map<std::string, std::vector<std::byte>> layers;
+  };
+
+  void handle_register(margo::Request& req);
+  void handle_write_layer(margo::Request& req);
+  void handle_read_layer(margo::Request& req);
+  void handle_get_model(margo::Request& req);
+  void handle_list_models(margo::Request& req);
+
+  margo::Instance& mid_;
+  std::uint16_t provider_id_;
+  bake::StorageDevice device_;
+  std::map<std::string, ModelEntry> models_;
+  std::uint64_t bytes_stored_ = 0;
+};
+
+class Client {
+ public:
+  explicit Client(margo::Instance& mid);
+
+  /// Register a model by name with its architecture JSON (validated
+  /// server-side). kExists if already registered.
+  Status register_model(ofi::EpAddr target, std::uint16_t provider,
+                        const std::string& name,
+                        const std::string& architecture_json);
+
+  /// Store one layer's weights (bulk path).
+  Status write_layer(ofi::EpAddr target, std::uint16_t provider,
+                     const std::string& model, const std::string& layer,
+                     std::vector<std::byte> weights);
+
+  /// Read a layer's weights back.
+  Status read_layer(ofi::EpAddr target, std::uint16_t provider,
+                    const std::string& model, const std::string& layer,
+                    std::vector<std::byte>* weights);
+
+  /// Fetch a model's architecture and layer inventory.
+  Status get_model(ofi::EpAddr target, std::uint16_t provider,
+                   const std::string& name, ModelInfo* info);
+
+  std::vector<std::string> list_models(ofi::EpAddr target,
+                                       std::uint16_t provider);
+
+  /// Checkpoint convenience: register (if new) and write every layer, all
+  /// layer transfers in flight concurrently.
+  Status save_model(ofi::EpAddr target, std::uint16_t provider,
+                    const std::string& name,
+                    const std::string& architecture_json,
+                    const std::map<std::string, std::vector<std::byte>>&
+                        layers);
+
+ private:
+  margo::Instance& mid_;
+  hg::RpcId register_id_, write_id_, read_id_, get_id_, list_id_;
+};
+
+}  // namespace sym::flame

@@ -1,0 +1,321 @@
+#include "services/gekko/gekko.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "argolite/runtime.hpp"
+#include "simkit/rng.hpp"
+
+namespace sym::gekko {
+namespace {
+
+constexpr const char* kCreateRpc = "gkfs_create_rpc";
+constexpr const char* kStatRpc = "gkfs_stat_rpc";
+constexpr const char* kWriteChunkRpc = "gkfs_write_chunk_rpc";
+constexpr const char* kReadChunkRpc = "gkfs_read_chunk_rpc";
+constexpr const char* kUpdateSizeRpc = "gkfs_update_size_rpc";
+constexpr const char* kRemoveRpc = "gkfs_remove_rpc";
+constexpr const char* kReaddirRpc = "gkfs_readdir_rpc";
+
+// Metadata operation CPU cost.
+constexpr sim::DurationNs kMetaOpCost = sim::nsec(900);
+// Chunk staging copy cost (ns/byte) before the device write.
+constexpr double kStageNsPerByte = 0.05;
+
+std::uint64_t path_hash(const std::string& path) {
+  return sim::fnv1a64(path.data(), path.size());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Daemon
+// ---------------------------------------------------------------------------
+
+Daemon::Daemon(margo::Instance& mid, std::uint16_t provider_id)
+    : mid_(mid), provider_id_(provider_id), device_(mid.engine()) {
+  mid_.register_rpc(kCreateRpc, provider_id_,
+                    [this](margo::Request& r) { handle_create(r); });
+  mid_.register_rpc(kStatRpc, provider_id_,
+                    [this](margo::Request& r) { handle_stat(r); });
+  mid_.register_rpc(kWriteChunkRpc, provider_id_,
+                    [this](margo::Request& r) { handle_write_chunk(r); });
+  mid_.register_rpc(kReadChunkRpc, provider_id_,
+                    [this](margo::Request& r) { handle_read_chunk(r); });
+  mid_.register_rpc(kUpdateSizeRpc, provider_id_,
+                    [this](margo::Request& r) { handle_update_size(r); });
+  mid_.register_rpc(kRemoveRpc, provider_id_,
+                    [this](margo::Request& r) { handle_remove(r); });
+  mid_.register_rpc(kReaddirRpc, provider_id_,
+                    [this](margo::Request& r) { handle_readdir(r); });
+}
+
+void Daemon::handle_create(margo::Request& req) {
+  auto r = req.reader();
+  std::string path;
+  hg::get(r, path);
+  abt::compute(kMetaOpCost);
+  const bool inserted = metadata_.emplace(path, 0).second;
+  if (inserted) mid_.process().add_rss(static_cast<std::int64_t>(path.size()));
+  req.respond_value(
+      static_cast<std::uint8_t>(inserted ? Status::kOk : Status::kExists));
+}
+
+void Daemon::handle_stat(margo::Request& req) {
+  auto r = req.reader();
+  std::string path;
+  hg::get(r, path);
+  abt::compute(kMetaOpCost);
+  hg::BufWriter w;
+  auto it = metadata_.find(path);
+  hg::put(w, it != metadata_.end());
+  hg::put(w, it != metadata_.end() ? it->second : std::uint64_t{0});
+  req.respond(w.take());
+}
+
+void Daemon::handle_write_chunk(margo::Request& req) {
+  auto r = req.reader();
+  std::string path;
+  std::uint64_t chunk = 0, offset_in_chunk = 0, bytes = 0;
+  hg::get(r, path);
+  hg::get(r, chunk);
+  hg::get(r, offset_in_chunk);
+  hg::get(r, bytes);
+
+  // Pull the chunk payload from the client, stage it, persist it.
+  req.bulk_pull(bytes);
+  abt::compute(static_cast<sim::DurationNs>(
+      static_cast<double>(bytes) * kStageNsPerByte));
+  auto& store = chunks_[{path, chunk}];
+  if (store.size() < offset_in_chunk + bytes) {
+    mid_.process().add_rss(static_cast<std::int64_t>(
+        offset_in_chunk + bytes - store.size()));
+    store.resize(offset_in_chunk + bytes);
+  }
+  const auto* payload = req.handle()->attached<std::vector<std::byte>>();
+  if (payload != nullptr && !payload->empty()) {
+    std::memcpy(store.data() + offset_in_chunk, payload->data(),
+                std::min<std::size_t>(payload->size(), bytes));
+  }
+  device_.write(bytes);
+  req.respond_value(bytes);
+}
+
+void Daemon::handle_read_chunk(margo::Request& req) {
+  auto r = req.reader();
+  std::string path;
+  std::uint64_t chunk = 0, offset_in_chunk = 0, len = 0;
+  hg::get(r, path);
+  hg::get(r, chunk);
+  hg::get(r, offset_in_chunk);
+  hg::get(r, len);
+  hg::BufWriter w;
+  auto it = chunks_.find({path, chunk});
+  if (it == chunks_.end() || offset_in_chunk >= it->second.size()) {
+    hg::put(w, std::uint32_t{0});
+    req.respond(w.take());
+    return;
+  }
+  const auto n = std::min<std::uint64_t>(len,
+                                         it->second.size() - offset_in_chunk);
+  hg::put(w, static_cast<std::uint32_t>(n));
+  w.write_raw(it->second.data() + offset_in_chunk, n);
+  req.respond(w.take());
+}
+
+void Daemon::handle_update_size(margo::Request& req) {
+  auto r = req.reader();
+  std::string path;
+  std::uint64_t size = 0;
+  hg::get(r, path);
+  hg::get(r, size);
+  abt::compute(kMetaOpCost);
+  auto it = metadata_.find(path);
+  if (it == metadata_.end()) {
+    req.respond_value(static_cast<std::uint8_t>(Status::kNotFound));
+    return;
+  }
+  it->second = std::max(it->second, size);  // grow-only size merge
+  req.respond_value(static_cast<std::uint8_t>(Status::kOk));
+}
+
+void Daemon::handle_remove(margo::Request& req) {
+  auto r = req.reader();
+  std::string path;
+  hg::get(r, path);
+  abt::compute(kMetaOpCost);
+  const bool existed = metadata_.erase(path) > 0;
+  // Drop any chunks of this path that live here.
+  for (auto it = chunks_.lower_bound({path, 0});
+       it != chunks_.end() && it->first.first == path;) {
+    mid_.process().add_rss(-static_cast<std::int64_t>(it->second.size()));
+    it = chunks_.erase(it);
+  }
+  req.respond_value(
+      static_cast<std::uint8_t>(existed ? Status::kOk : Status::kNotFound));
+}
+
+void Daemon::handle_readdir(margo::Request& req) {
+  auto r = req.reader();
+  std::string prefix;
+  hg::get(r, prefix);
+  std::vector<std::string> names;
+  for (auto it = metadata_.lower_bound(prefix);
+       it != metadata_.end() && it->first.rfind(prefix, 0) == 0; ++it) {
+    names.push_back(it->first);
+  }
+  abt::compute(kMetaOpCost + sim::nsec(150) * names.size());
+  req.respond_value(names);
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(margo::Instance& mid, std::vector<ofi::EpAddr> daemons,
+               std::uint16_t provider_id)
+    : mid_(mid),
+      daemons_(std::move(daemons)),
+      provider_id_(provider_id),
+      create_id_(mid.register_client_rpc(kCreateRpc)),
+      stat_id_(mid.register_client_rpc(kStatRpc)),
+      write_id_(mid.register_client_rpc(kWriteChunkRpc)),
+      read_id_(mid.register_client_rpc(kReadChunkRpc)),
+      size_id_(mid.register_client_rpc(kUpdateSizeRpc)),
+      remove_id_(mid.register_client_rpc(kRemoveRpc)),
+      readdir_id_(mid.register_client_rpc(kReaddirRpc)) {}
+
+ofi::EpAddr Client::meta_daemon(const std::string& path) const {
+  return daemons_[path_hash(path) % daemons_.size()];
+}
+
+ofi::EpAddr Client::chunk_daemon(const std::string& path,
+                                 std::uint64_t chunk) const {
+  return daemons_[(path_hash(path) ^ (chunk * 0x9E3779B97F4A7C15ULL)) %
+                  daemons_.size()];
+}
+
+Status Client::create(const std::string& path) {
+  return static_cast<Status>(hg::decode<std::uint8_t>(mid_.forward(
+      meta_daemon(path), provider_id_, create_id_, hg::encode(path))));
+}
+
+FileStatus Client::stat(const std::string& path) {
+  const auto resp = mid_.forward(meta_daemon(path), provider_id_, stat_id_,
+                                 hg::encode(path));
+  hg::BufReader r(resp);
+  FileStatus st;
+  hg::get(r, st.exists);
+  hg::get(r, st.size);
+  return st;
+}
+
+std::uint64_t Client::write(const std::string& path, std::uint64_t offset,
+                            std::vector<std::byte> data) {
+  if (!stat(path).exists || data.empty()) return 0;
+  const std::uint64_t total = data.size();
+  auto shared =
+      std::make_shared<const std::vector<std::byte>>(std::move(data));
+
+  // Fan out one RPC per touched chunk, all concurrent.
+  std::vector<margo::PendingOpPtr> ops;
+  std::uint64_t pos = 0;
+  while (pos < total) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t chunk = abs / kChunkSize;
+    const std::uint64_t in_chunk = abs % kChunkSize;
+    const std::uint64_t n = std::min(kChunkSize - in_chunk, total - pos);
+    // The attachment carries the slice's content for the daemon to copy.
+    auto slice = std::make_shared<const std::vector<std::byte>>(
+        shared->begin() + static_cast<std::ptrdiff_t>(pos),
+        shared->begin() + static_cast<std::ptrdiff_t>(pos + n));
+    hg::BufWriter w;
+    hg::put(w, path);
+    hg::put(w, chunk);
+    hg::put(w, in_chunk);
+    hg::put(w, n);
+    ops.push_back(mid_.forward_async(chunk_daemon(path, chunk), provider_id_,
+                                     write_id_, w.take(), slice, n));
+    pos += n;
+  }
+  std::uint64_t written = 0;
+  for (auto& op : ops) {
+    written += hg::decode<std::uint64_t>(op->wait());
+  }
+  // Grow the size entry on the metadata holder.
+  hg::BufWriter w;
+  hg::put(w, path);
+  hg::put(w, offset + total);
+  mid_.forward(meta_daemon(path), provider_id_, size_id_, w.take());
+  return written;
+}
+
+std::vector<std::byte> Client::read(const std::string& path,
+                                    std::uint64_t offset, std::uint64_t len) {
+  std::vector<std::byte> out;
+  const auto st = stat(path);
+  if (!st.exists || offset >= st.size) return out;
+  len = std::min(len, st.size - offset);
+  out.resize(len);
+
+  struct Piece {
+    margo::PendingOpPtr op;
+    std::uint64_t out_pos;
+  };
+  std::vector<Piece> pieces;
+  std::uint64_t pos = 0;
+  while (pos < len) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t chunk = abs / kChunkSize;
+    const std::uint64_t in_chunk = abs % kChunkSize;
+    const std::uint64_t n = std::min(kChunkSize - in_chunk, len - pos);
+    hg::BufWriter w;
+    hg::put(w, path);
+    hg::put(w, chunk);
+    hg::put(w, in_chunk);
+    hg::put(w, n);
+    pieces.push_back({mid_.forward_async(chunk_daemon(path, chunk),
+                                         provider_id_, read_id_, w.take()),
+                      pos});
+    pos += n;
+  }
+  for (auto& piece : pieces) {
+    const auto& resp = piece.op->wait();
+    hg::BufReader r(resp);
+    std::uint32_t n = 0;
+    hg::get(r, n);
+    if (n > 0) r.read_raw(out.data() + piece.out_pos, n);
+  }
+  return out;
+}
+
+Status Client::remove(const std::string& path) {
+  // Relaxed removal: drop the metadata entry, then sweep every daemon for
+  // chunks (data and metadata may live on different daemons).
+  const auto status = static_cast<Status>(hg::decode<std::uint8_t>(
+      mid_.forward(meta_daemon(path), provider_id_, remove_id_,
+                   hg::encode(path))));
+  for (const auto d : daemons_) {
+    if (d == meta_daemon(path)) continue;
+    mid_.forward(d, provider_id_, remove_id_, hg::encode(path));
+  }
+  return status;
+}
+
+std::vector<std::string> Client::readdir(const std::string& dir_prefix) {
+  std::vector<margo::PendingOpPtr> ops;
+  ops.reserve(daemons_.size());
+  for (const auto d : daemons_) {
+    ops.push_back(mid_.forward_async(d, provider_id_, readdir_id_,
+                                     hg::encode(dir_prefix)));
+  }
+  std::vector<std::string> names;
+  for (auto& op : ops) {
+    auto part = hg::decode<std::vector<std::string>>(op->wait());
+    names.insert(names.end(), part.begin(), part.end());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sym::gekko

@@ -1,0 +1,121 @@
+// services/gekko/gekko.hpp
+//
+// GekkoFS-lite: "a scalable POSIX-like filesystem with relaxed semantics"
+// (paper §I) — one of the data services enabled by the Mochi ecosystem that
+// the performance framework is expected to support. This implementation
+// keeps GekkoFS's defining design points:
+//
+//  * fully decentralized: no dedicated metadata server — metadata entries
+//    are hash-distributed across all daemons by path, file data is chunked
+//    and each chunk hash-distributed by (path, chunk index);
+//  * relaxed semantics: no atomic rename, no directory entries proper —
+//    readdir is a prefix scan over every daemon's metadata store;
+//  * chunked parallel I/O: a client write fans out one RPC per touched
+//    chunk, issued concurrently.
+//
+// RPCs: gkfs_create_rpc, gkfs_stat_rpc, gkfs_write_chunk_rpc (bulk),
+//       gkfs_read_chunk_rpc, gkfs_update_size_rpc, gkfs_remove_rpc,
+//       gkfs_readdir_rpc.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "services/bake/bake.hpp"  // StorageDevice
+
+namespace sym::gekko {
+
+/// Chunk size: GekkoFS's default data distribution granularity.
+inline constexpr std::uint64_t kChunkSize = 512 * 1024;
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kExists = 2,
+};
+
+struct FileStatus {
+  bool exists = false;
+  std::uint64_t size = 0;
+};
+
+/// One GekkoFS daemon: holds the metadata entries and data chunks that hash
+/// to it, persisting chunk writes on a local device model.
+class Daemon {
+ public:
+  Daemon(margo::Instance& mid, std::uint16_t provider_id);
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  [[nodiscard]] std::size_t metadata_entries() const noexcept {
+    return metadata_.size();
+  }
+  [[nodiscard]] std::size_t chunks_stored() const noexcept {
+    return chunks_.size();
+  }
+  [[nodiscard]] bake::StorageDevice& device() noexcept { return device_; }
+
+ private:
+  void handle_create(margo::Request& req);
+  void handle_stat(margo::Request& req);
+  void handle_write_chunk(margo::Request& req);
+  void handle_read_chunk(margo::Request& req);
+  void handle_update_size(margo::Request& req);
+  void handle_remove(margo::Request& req);
+  void handle_readdir(margo::Request& req);
+
+  margo::Instance& mid_;
+  std::uint16_t provider_id_;
+  bake::StorageDevice device_;
+  std::map<std::string, std::uint64_t> metadata_;  // path -> size
+  std::map<std::pair<std::string, std::uint64_t>, std::vector<std::byte>>
+      chunks_;
+};
+
+/// Client-side file API over a set of daemons.
+class Client {
+ public:
+  Client(margo::Instance& mid, std::vector<ofi::EpAddr> daemons,
+         std::uint16_t provider_id);
+
+  /// Create an (empty) file; kExists if already present.
+  Status create(const std::string& path);
+
+  [[nodiscard]] FileStatus stat(const std::string& path);
+
+  /// Write `data` at `offset`: fans out one bulk RPC per touched chunk, all
+  /// concurrent, then updates the size entry if the file grew. Returns
+  /// bytes written (0 if the file does not exist).
+  std::uint64_t write(const std::string& path, std::uint64_t offset,
+                      std::vector<std::byte> data);
+
+  /// Read up to `len` bytes at `offset` (parallel chunk reads).
+  std::vector<std::byte> read(const std::string& path, std::uint64_t offset,
+                              std::uint64_t len);
+
+  Status remove(const std::string& path);
+
+  /// Relaxed readdir: names with prefix `dir_prefix`, merged from every
+  /// daemon, sorted.
+  std::vector<std::string> readdir(const std::string& dir_prefix);
+
+  [[nodiscard]] std::size_t daemon_count() const noexcept {
+    return daemons_.size();
+  }
+
+ private:
+  [[nodiscard]] ofi::EpAddr meta_daemon(const std::string& path) const;
+  [[nodiscard]] ofi::EpAddr chunk_daemon(const std::string& path,
+                                         std::uint64_t chunk) const;
+
+  margo::Instance& mid_;
+  std::vector<ofi::EpAddr> daemons_;
+  std::uint16_t provider_id_;
+  hg::RpcId create_id_, stat_id_, write_id_, read_id_, size_id_, remove_id_,
+      readdir_id_;
+};
+
+}  // namespace sym::gekko

@@ -1,0 +1,79 @@
+// services/mobject/mobject.hpp
+//
+// Mobject: a distributed object storage service exposing a subset of the
+// RADOS API. Each provider node hosts three providers — the Mobject
+// sequencer (client-facing), a BAKE provider (object data) and an SDSKV
+// provider (metadata) — and the sequencer translates RADOS-style write/read
+// ops into chains of BAKE and SDSKV RPCs. Control always returns to the
+// Mobject provider between steps (paper §V-A, Fig. 4), so a single
+// `mobject_write_op` fans out into 12 discrete downstream microservice
+// calls, which the SYMBIOSYS trace discovers (Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "services/bake/bake.hpp"
+#include "services/sdskv/sdskv.hpp"
+
+namespace sym::mobject {
+
+struct ServerConfig {
+  std::uint16_t mobject_provider = 1;
+  std::uint16_t bake_provider = 2;
+  std::uint16_t sdskv_provider = 3;
+  sdskv::BackendType meta_backend = sdskv::BackendType::kMap;
+};
+
+/// One Mobject provider node: sequencer + BAKE + SDSKV on one margolite
+/// instance, plus internal clients the sequencer uses for downstream calls.
+class Server {
+ public:
+  Server(margo::Instance& mid, ServerConfig config = {});
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  [[nodiscard]] const ServerConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] sdskv::Provider& meta() noexcept { return *meta_; }
+  [[nodiscard]] bake::Provider& data() noexcept { return *data_; }
+  [[nodiscard]] std::uint64_t write_ops() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t read_ops() const noexcept { return reads_; }
+
+ private:
+  void handle_write_op(margo::Request& req);
+  void handle_read_op(margo::Request& req);
+
+  margo::Instance& mid_;
+  ServerConfig cfg_;
+  std::unique_ptr<sdskv::Provider> meta_;
+  std::unique_ptr<bake::Provider> data_;
+  std::unique_ptr<sdskv::Client> kv_;
+  std::unique_ptr<bake::Client> blob_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+/// Client-side RADOS-subset API.
+class Client {
+ public:
+  explicit Client(margo::Instance& mid);
+
+  /// Write (append-style) `data` to object `name`. Returns the assigned
+  /// sequence number.
+  std::uint64_t write_op(ofi::EpAddr target, std::uint16_t provider,
+                         const std::string& name, std::vector<std::byte> data);
+
+  /// Read back the object's latest extent.
+  std::vector<std::byte> read_op(ofi::EpAddr target, std::uint16_t provider,
+                                 const std::string& name);
+
+ private:
+  margo::Instance& mid_;
+  hg::RpcId write_id_, read_id_;
+};
+
+}  // namespace sym::mobject

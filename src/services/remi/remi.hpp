@@ -1,0 +1,93 @@
+// services/remi/remi.hpp
+//
+// REMI: the Mochi microservice "to enable the shifting of data between
+// microservice instances" (paper §III-A). A REMI provider attaches next to
+// an SDSKV provider on the same process; migrating a database moves its
+// key-value content from a source process to a destination process:
+//
+//   client --remi_migrate_rpc--> source REMI
+//     source reads the local database and
+//     --remi_receive_rpc--> destination REMI (content via bulk)
+//       destination loads the pairs into its local SDSKV database
+//         via sdskv_put_packed_rpc to itself
+//
+// which produces depth-3 distributed callpaths
+// (remi_migrate_rpc => remi_receive_rpc => sdskv_put_packed_rpc) — a good
+// exercise of the breadcrumb encoding's multi-level capability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "margolite/instance.hpp"
+#include "services/sdskv/sdskv.hpp"
+
+namespace sym::remi {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kBadDb = 1,
+  kTransferFailed = 2,
+};
+
+struct MigrationResult {
+  Status status = Status::kOk;
+  std::uint32_t items = 0;
+  std::uint64_t bytes = 0;
+};
+
+/// REMI provider colocated with an SDSKV provider on one margolite
+/// instance; serves both the source (migrate) and destination (receive)
+/// roles.
+class Provider {
+ public:
+  Provider(margo::Instance& mid, std::uint16_t provider_id,
+           sdskv::Provider& local_kv, std::uint16_t local_kv_provider_id);
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+
+  [[nodiscard]] std::uint16_t provider_id() const noexcept {
+    return provider_id_;
+  }
+  [[nodiscard]] std::uint64_t migrations_served() const noexcept {
+    return migrations_;
+  }
+  [[nodiscard]] std::uint64_t receives_served() const noexcept {
+    return receives_;
+  }
+
+ private:
+  void handle_migrate(margo::Request& req);
+  void handle_receive(margo::Request& req);
+
+  margo::Instance& mid_;
+  std::uint16_t provider_id_;
+  sdskv::Provider& local_kv_;
+  std::uint16_t local_kv_provider_id_;
+  std::unique_ptr<sdskv::Client> kv_client_;
+  hg::RpcId receive_id_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t receives_ = 0;
+};
+
+/// Client-side API: ask a source REMI provider to migrate one of its
+/// databases to a destination REMI provider.
+class Client {
+ public:
+  explicit Client(margo::Instance& mid);
+
+  /// Migrate database `src_db` of the SDSKV provider next to `source` into
+  /// database `dst_db` of the SDSKV provider next to `destination`.
+  /// `erase_source` removes the migrated pairs from the source afterwards
+  /// (move semantics vs copy semantics).
+  MigrationResult migrate(ofi::EpAddr source, std::uint16_t source_provider,
+                          std::uint32_t src_db, ofi::EpAddr destination,
+                          std::uint16_t destination_provider,
+                          std::uint32_t dst_db, bool erase_source = true);
+
+ private:
+  margo::Instance& mid_;
+  hg::RpcId migrate_id_;
+};
+
+}  // namespace sym::remi

@@ -1,0 +1,320 @@
+#include "services/sonata/jx9lite.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+namespace sym::jx9 {
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Op { kEq, kNe, kLt, kLe, kGt, kGe };
+
+struct Operand {
+  bool is_path = false;
+  std::string path;     // when is_path
+  json::Value literal;  // otherwise
+
+  [[nodiscard]] const json::Value* resolve(const json::Value& rec) const {
+    return is_path ? rec.find_path(path) : &literal;
+  }
+};
+
+bool compare(const json::Value* a, const json::Value* b, Op op) {
+  if (a == nullptr || b == nullptr) {
+    // Missing fields compare unequal to everything (and not-unequal fails
+    // too, except !=, which is true when exactly one side is missing).
+    if (op == Op::kNe) return (a == nullptr) != (b == nullptr);
+    return false;
+  }
+  switch (op) {
+    case Op::kEq: return *a == *b;
+    case Op::kNe: return !(*a == *b);
+    default: break;
+  }
+  // Ordering: numbers by value, strings lexicographically.
+  if (a->is_number() && b->is_number()) {
+    const double x = a->as_number();
+    const double y = b->as_number();
+    switch (op) {
+      case Op::kLt: return x < y;
+      case Op::kLe: return x <= y;
+      case Op::kGt: return x > y;
+      case Op::kGe: return x >= y;
+      default: return false;
+    }
+  }
+  if (a->is_string() && b->is_string()) {
+    const int c = a->as_string().compare(b->as_string());
+    switch (op) {
+      case Op::kLt: return c < 0;
+      case Op::kLe: return c <= 0;
+      case Op::kGt: return c > 0;
+      case Op::kGe: return c >= 0;
+      default: return false;
+    }
+  }
+  return false;
+}
+
+bool truthy(const json::Value* v) {
+  if (v == nullptr || v->is_null()) return false;
+  if (v->is_bool()) return v->as_bool();
+  if (v->is_number()) return v->as_number() != 0;
+  if (v->is_string()) return !v->as_string().empty();
+  if (v->is_array()) return !v->as_array().empty();
+  return !v->as_object().empty();
+}
+
+}  // namespace
+
+class ExprImpl {
+ public:
+  enum class Kind { kAnd, kOr, kNot, kExists, kCompare, kTruthy };
+
+  Kind kind{};
+  std::unique_ptr<ExprImpl> lhs, rhs;  // kAnd/kOr; kNot uses lhs
+  Operand a, b;                        // kCompare / kTruthy(a) / kExists(a)
+  Op op{};
+
+  [[nodiscard]] bool eval(const json::Value& rec) const {
+    switch (kind) {
+      case Kind::kAnd: return lhs->eval(rec) && rhs->eval(rec);
+      case Kind::kOr: return lhs->eval(rec) || rhs->eval(rec);
+      case Kind::kNot: return !lhs->eval(rec);
+      case Kind::kExists: return rec.find_path(a.path) != nullptr;
+      case Kind::kCompare: return compare(a.resolve(rec), b.resolve(rec), op);
+      case Kind::kTruthy: return truthy(a.resolve(rec));
+    }
+    return false;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class FilterParser {
+ public:
+  explicit FilterParser(const std::string& src) : s_(src) {}
+
+  std::unique_ptr<ExprImpl> parse() {
+    auto e = parse_or();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error(std::string("jx9lite: ") + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(const char* token) {
+    skip_ws();
+    std::size_t n = 0;
+    while (token[n] != '\0') ++n;
+    if (s_.compare(pos_, n, token) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::unique_ptr<ExprImpl> parse_or() {
+    auto lhs = parse_and();
+    while (consume("||")) {
+      auto node = std::make_unique<ExprImpl>();
+      node->kind = ExprImpl::Kind::kOr;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_and();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<ExprImpl> parse_and() {
+    auto lhs = parse_unary();
+    while (consume("&&")) {
+      auto node = std::make_unique<ExprImpl>();
+      node->kind = ExprImpl::Kind::kAnd;
+      node->lhs = std::move(lhs);
+      node->rhs = parse_unary();
+      lhs = std::move(node);
+    }
+    return lhs;
+  }
+
+  std::unique_ptr<ExprImpl> parse_unary() {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '!' &&
+        (pos_ + 1 >= s_.size() || s_[pos_ + 1] != '=')) {
+      ++pos_;
+      auto node = std::make_unique<ExprImpl>();
+      node->kind = ExprImpl::Kind::kNot;
+      node->lhs = parse_unary();
+      return node;
+    }
+    return parse_primary();
+  }
+
+  std::unique_ptr<ExprImpl> parse_primary() {
+    skip_ws();
+    if (consume("(")) {
+      auto e = parse_or();
+      if (!consume(")")) fail("expected ')'");
+      return e;
+    }
+    if (consume("exists")) {
+      if (!consume("(")) fail("expected '(' after exists");
+      auto node = std::make_unique<ExprImpl>();
+      node->kind = ExprImpl::Kind::kExists;
+      node->a = parse_path_operand();
+      if (!consume(")")) fail("expected ')'");
+      return node;
+    }
+    // comparison or truthiness
+    Operand a = parse_operand();
+    skip_ws();
+    Op op{};
+    bool has_op = true;
+    if (consume("==")) op = Op::kEq;
+    else if (consume("!=")) op = Op::kNe;
+    else if (consume("<=")) op = Op::kLe;
+    else if (consume(">=")) op = Op::kGe;
+    else if (consume("<")) op = Op::kLt;
+    else if (consume(">")) op = Op::kGt;
+    else has_op = false;
+
+    auto node = std::make_unique<ExprImpl>();
+    if (has_op) {
+      node->kind = ExprImpl::Kind::kCompare;
+      node->a = std::move(a);
+      node->op = op;
+      node->b = parse_operand();
+    } else {
+      node->kind = ExprImpl::Kind::kTruthy;
+      node->a = std::move(a);
+    }
+    return node;
+  }
+
+  Operand parse_path_operand() {
+    skip_ws();
+    if (pos_ >= s_.size() || s_[pos_] != '$') fail("expected path ($...)");
+    return parse_operand();
+  }
+
+  Operand parse_operand() {
+    skip_ws();
+    if (pos_ >= s_.size()) fail("expected operand");
+    Operand out;
+    const char c = s_[pos_];
+    if (c == '$') {
+      ++pos_;
+      out.is_path = true;
+      const std::size_t start = pos_;
+      while (pos_ < s_.size()) {
+        const char pc = s_[pos_];
+        if (std::isalnum(static_cast<unsigned char>(pc)) != 0 || pc == '_' ||
+            pc == '.' || pc == '[' || pc == ']') {
+          ++pos_;
+        } else {
+          break;
+        }
+      }
+      out.path = s_.substr(start, pos_ - start);
+      if (out.path.empty()) fail("empty path");
+      return out;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string lit;
+      while (pos_ < s_.size() && s_[pos_] != '"') {
+        if (s_[pos_] == '\\' && pos_ + 1 < s_.size()) ++pos_;
+        lit += s_[pos_++];
+      }
+      if (pos_ >= s_.size()) fail("unterminated string literal");
+      ++pos_;
+      out.literal = json::Value(std::move(lit));
+      return out;
+    }
+    if (consume("true")) {
+      out.literal = json::Value(true);
+      return out;
+    }
+    if (consume("false")) {
+      out.literal = json::Value(false);
+      return out;
+    }
+    if (consume("null")) {
+      out.literal = json::Value(nullptr);
+      return out;
+    }
+    // number
+    const std::size_t start = pos_;
+    if (s_[pos_] == '-') ++pos_;
+    bool is_double = false;
+    while (pos_ < s_.size()) {
+      const char nc = s_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(nc)) != 0) ++pos_;
+      else if (nc == '.' || nc == 'e' || nc == 'E') {
+        is_double = true;
+        ++pos_;
+      } else if ((nc == '+' || nc == '-') && is_double) {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected operand");
+    const std::string token = s_.substr(start, pos_ - start);
+    if (is_double) {
+      out.literal = json::Value(std::strtod(token.c_str(), nullptr));
+    } else {
+      out.literal = json::Value(
+          static_cast<std::int64_t>(std::strtoll(token.c_str(), nullptr, 10)));
+    }
+    return out;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+Filter::Filter(std::string source, std::unique_ptr<ExprImpl> root)
+    : source_(std::move(source)), root_(std::move(root)) {}
+
+Filter::Filter(Filter&&) noexcept = default;
+Filter& Filter::operator=(Filter&&) noexcept = default;
+Filter::~Filter() = default;
+
+Filter Filter::compile(const std::string& source) {
+  return Filter(source, FilterParser(source).parse());
+}
+
+bool Filter::matches(const json::Value& record) const {
+  return root_->eval(record);
+}
+
+}  // namespace sym::jx9

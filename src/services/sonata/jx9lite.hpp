@@ -1,0 +1,51 @@
+// services/sonata/jx9lite.hpp
+//
+// A small filter-expression language standing in for UnQLite's Jx9 scripts:
+// Sonata's defining capability is running queries *in place* on stored JSON
+// documents. Expressions are compiled once and evaluated per record.
+//
+// Grammar:
+//   expr    := or
+//   or      := and ( '||' and )*
+//   and     := unary ( '&&' unary )*
+//   unary   := '!' unary | primary
+//   primary := '(' expr ')' | 'exists' '(' path ')' | cmp
+//   cmp     := operand ( '==' | '!=' | '<' | '<=' | '>' | '>=' ) operand
+//            | operand                      (truthiness)
+//   operand := path | number | string | 'true' | 'false' | 'null'
+//   path    := '$' ident ( '.' ident | '[' int ']' )*
+//
+// Example: "$pt > 40.0 && $detector == \"EMCAL\" && exists($vertex.z)"
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "services/sonata/json.hpp"
+
+namespace sym::jx9 {
+
+class ExprImpl;
+
+/// A compiled filter expression.
+class Filter {
+ public:
+  /// Compile `source`; throws std::runtime_error on syntax errors.
+  static Filter compile(const std::string& source);
+
+  Filter(Filter&&) noexcept;
+  Filter& operator=(Filter&&) noexcept;
+  ~Filter();
+
+  /// Evaluate against one JSON record.
+  [[nodiscard]] bool matches(const json::Value& record) const;
+
+  [[nodiscard]] const std::string& source() const noexcept { return source_; }
+
+ private:
+  explicit Filter(std::string source, std::unique_ptr<ExprImpl> root);
+  std::string source_;
+  std::unique_ptr<ExprImpl> root_;
+};
+
+}  // namespace sym::jx9

@@ -1,0 +1,299 @@
+#include "services/sonata/sonata.hpp"
+
+#include <cmath>
+
+#include "argolite/runtime.hpp"
+
+namespace sym::sonata {
+namespace {
+
+constexpr const char* kCreateRpc = "sonata_create_collection_rpc";
+constexpr const char* kStoreRpc = "sonata_store_rpc";
+constexpr const char* kStoreMultiRpc = "sonata_store_multi_json";
+constexpr const char* kFetchRpc = "sonata_fetch_rpc";
+constexpr const char* kFilterRpc = "sonata_exec_filter_rpc";
+constexpr const char* kSizeRpc = "sonata_size_rpc";
+
+// Cost model for the UnQLite-sim engine.
+constexpr sim::DurationNs kInsertBase = sim::nsec(400);
+constexpr double kInsertPerByte = 1.2;     // encode + page write, ns/byte
+constexpr double kJsonParsePerByte = 1.0;  // jx9 VM decode, ns/byte
+constexpr sim::DurationNs kFilterPerRecord = sim::nsec(600);
+
+/// Approximate in-memory footprint of a parsed record.
+std::size_t record_bytes(const json::Value& v) {
+  return json::dump(v).size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// UnqliteSim
+// ---------------------------------------------------------------------------
+
+bool UnqliteSim::create_collection(const std::string& name) {
+  abt::LockGuard g(write_lock_);
+  return collections_.emplace(name, std::vector<json::Value>{}).second;
+}
+
+std::uint64_t UnqliteSim::store(const std::string& collection,
+                                json::Value record) {
+  abt::LockGuard g(write_lock_);  // UnQLite: one writer at a time
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return ~0ULL;
+  const auto bytes = record_bytes(record);
+  abt::compute(kInsertBase + static_cast<sim::DurationNs>(
+                                 std::llround(bytes * kInsertPerByte)));
+  process_.add_rss(static_cast<std::int64_t>(bytes));
+  it->second.push_back(std::move(record));
+  return it->second.size() - 1;
+}
+
+const json::Value* UnqliteSim::fetch(const std::string& collection,
+                                     std::uint64_t id) const {
+  auto it = collections_.find(collection);
+  if (it == collections_.end() || id >= it->second.size()) return nullptr;
+  return &it->second[id];
+}
+
+std::size_t UnqliteSim::size(const std::string& collection) const {
+  auto it = collections_.find(collection);
+  return it == collections_.end() ? 0 : it->second.size();
+}
+
+std::vector<const json::Value*> UnqliteSim::filter(
+    const std::string& collection, const jx9::Filter& f) {
+  std::vector<const json::Value*> out;
+  auto it = collections_.find(collection);
+  if (it == collections_.end()) return out;
+  abt::compute(kFilterPerRecord * it->second.size());
+  for (const auto& rec : it->second) {
+    if (f.matches(rec)) out.push_back(&rec);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Provider
+// ---------------------------------------------------------------------------
+
+Provider::Provider(margo::Instance& mid, std::uint16_t provider_id)
+    : mid_(mid), provider_id_(provider_id), db_(mid.process()) {
+  mid_.register_rpc(kCreateRpc, provider_id_,
+                    [this](margo::Request& r) { handle_create_collection(r); });
+  mid_.register_rpc(kStoreRpc, provider_id_,
+                    [this](margo::Request& r) { handle_store(r); });
+  mid_.register_rpc(kStoreMultiRpc, provider_id_,
+                    [this](margo::Request& r) { handle_store_multi(r); });
+  mid_.register_rpc(kFetchRpc, provider_id_,
+                    [this](margo::Request& r) { handle_fetch(r); });
+  mid_.register_rpc(kFilterRpc, provider_id_,
+                    [this](margo::Request& r) { handle_filter(r); });
+  mid_.register_rpc(kSizeRpc, provider_id_,
+                    [this](margo::Request& r) { handle_size(r); });
+}
+
+void Provider::handle_create_collection(margo::Request& req) {
+  auto r = req.reader();
+  std::string name;
+  hg::get(r, name);
+  db_.create_collection(name);
+  req.respond_value(static_cast<std::uint8_t>(Status::kOk));
+}
+
+void Provider::handle_store(margo::Request& req) {
+  auto r = req.reader();
+  std::string collection, text;
+  hg::get(r, collection);
+  hg::get(r, text);
+  hg::BufWriter w;
+  if (!db_.has_collection(collection)) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kNoCollection));
+    hg::put(w, std::uint64_t{0});
+    req.respond(w.take());
+    return;
+  }
+  abt::compute(static_cast<sim::DurationNs>(
+      std::llround(text.size() * kJsonParsePerByte)));
+  try {
+    auto record = json::parse(text);
+    const auto id = db_.store(collection, std::move(record));
+    hg::put(w, static_cast<std::uint8_t>(Status::kOk));
+    hg::put(w, id);
+  } catch (const json::ParseError&) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kBadJson));
+    hg::put(w, std::uint64_t{0});
+  }
+  req.respond(w.take());
+}
+
+void Provider::handle_store_multi(margo::Request& req) {
+  auto r = req.reader();
+  std::string collection, text;
+  hg::get(r, collection);
+  hg::get(r, text);
+  hg::BufWriter w;
+  if (!db_.has_collection(collection)) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kNoCollection));
+    hg::put(w, std::uint32_t{0});
+    req.respond(w.take());
+    return;
+  }
+  // Jx9-VM style decode of the record array (real parse + modeled cost).
+  abt::compute(static_cast<sim::DurationNs>(
+      std::llround(text.size() * kJsonParsePerByte)));
+  try {
+    auto arr = json::parse(text);
+    if (!arr.is_array()) throw json::ParseError("expected array", 0);
+    std::uint32_t stored = 0;
+    for (auto& rec : arr.as_array()) {
+      db_.store(collection, rec);
+      ++stored;
+    }
+    hg::put(w, static_cast<std::uint8_t>(Status::kOk));
+    hg::put(w, stored);
+  } catch (const json::ParseError&) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kBadJson));
+    hg::put(w, std::uint32_t{0});
+  }
+  req.respond(w.take());
+}
+
+void Provider::handle_fetch(margo::Request& req) {
+  auto r = req.reader();
+  std::string collection;
+  std::uint64_t id = 0;
+  hg::get(r, collection);
+  hg::get(r, id);
+  hg::BufWriter w;
+  const json::Value* rec = db_.fetch(collection, id);
+  if (rec == nullptr) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kNotFound));
+    hg::put(w, std::string());
+  } else {
+    hg::put(w, static_cast<std::uint8_t>(Status::kOk));
+    hg::put(w, json::dump(*rec));
+  }
+  req.respond(w.take());
+}
+
+void Provider::handle_filter(margo::Request& req) {
+  auto r = req.reader();
+  std::string collection, source;
+  hg::get(r, collection);
+  hg::get(r, source);
+  hg::BufWriter w;
+  try {
+    const auto f = jx9::Filter::compile(source);
+    const auto matches = db_.filter(collection, f);
+    hg::put(w, static_cast<std::uint8_t>(Status::kOk));
+    std::vector<std::string> texts;
+    texts.reserve(matches.size());
+    for (const auto* m : matches) texts.push_back(json::dump(*m));
+    hg::put(w, texts);
+  } catch (const std::runtime_error&) {
+    hg::put(w, static_cast<std::uint8_t>(Status::kBadFilter));
+    hg::put(w, std::vector<std::string>{});
+  }
+  req.respond(w.take());
+}
+
+void Provider::handle_size(margo::Request& req) {
+  auto r = req.reader();
+  std::string collection;
+  hg::get(r, collection);
+  req.respond_value(static_cast<std::uint64_t>(db_.size(collection)));
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+Client::Client(margo::Instance& mid)
+    : mid_(mid),
+      create_id_(mid.register_client_rpc(kCreateRpc)),
+      store_id_(mid.register_client_rpc(kStoreRpc)),
+      store_multi_id_(mid.register_client_rpc(kStoreMultiRpc)),
+      fetch_id_(mid.register_client_rpc(kFetchRpc)),
+      filter_id_(mid.register_client_rpc(kFilterRpc)),
+      size_id_(mid.register_client_rpc(kSizeRpc)) {}
+
+Status Client::create_collection(ofi::EpAddr target, std::uint16_t provider,
+                                 const std::string& name) {
+  return static_cast<Status>(hg::decode<std::uint8_t>(
+      mid_.forward(target, provider, create_id_, hg::encode(name))));
+}
+
+Status Client::store(ofi::EpAddr target, std::uint16_t provider,
+                     const std::string& collection,
+                     const std::string& json_text, std::uint64_t* id) {
+  hg::BufWriter w;
+  hg::put(w, collection);
+  hg::put(w, json_text);
+  const auto resp = mid_.forward(target, provider, store_id_, w.take());
+  hg::BufReader r(resp);
+  std::uint8_t status = 0;
+  std::uint64_t out_id = 0;
+  hg::get(r, status);
+  hg::get(r, out_id);
+  if (id != nullptr) *id = out_id;
+  return static_cast<Status>(status);
+}
+
+Status Client::store_multi(ofi::EpAddr target, std::uint16_t provider,
+                           const std::string& collection,
+                           const std::string& json_array_text,
+                           std::uint32_t* stored) {
+  hg::BufWriter w;
+  hg::put(w, collection);
+  hg::put(w, json_array_text);
+  const auto resp = mid_.forward(target, provider, store_multi_id_, w.take());
+  hg::BufReader r(resp);
+  std::uint8_t status = 0;
+  std::uint32_t n = 0;
+  hg::get(r, status);
+  hg::get(r, n);
+  if (stored != nullptr) *stored = n;
+  return static_cast<Status>(status);
+}
+
+Status Client::fetch(ofi::EpAddr target, std::uint16_t provider,
+                     const std::string& collection, std::uint64_t id,
+                     std::string* json_text) {
+  hg::BufWriter w;
+  hg::put(w, collection);
+  hg::put(w, id);
+  const auto resp = mid_.forward(target, provider, fetch_id_, w.take());
+  hg::BufReader r(resp);
+  std::uint8_t status = 0;
+  std::string text;
+  hg::get(r, status);
+  hg::get(r, text);
+  if (json_text != nullptr) *json_text = std::move(text);
+  return static_cast<Status>(status);
+}
+
+Status Client::filter(ofi::EpAddr target, std::uint16_t provider,
+                      const std::string& collection,
+                      const std::string& filter_src,
+                      std::vector<std::string>* matches) {
+  hg::BufWriter w;
+  hg::put(w, collection);
+  hg::put(w, filter_src);
+  const auto resp = mid_.forward(target, provider, filter_id_, w.take());
+  hg::BufReader r(resp);
+  std::uint8_t status = 0;
+  std::vector<std::string> out;
+  hg::get(r, status);
+  hg::get(r, out);
+  if (matches != nullptr) *matches = std::move(out);
+  return static_cast<Status>(status);
+}
+
+std::uint64_t Client::size(ofi::EpAddr target, std::uint16_t provider,
+                           const std::string& collection) {
+  return hg::decode<std::uint64_t>(
+      mid_.forward(target, provider, size_id_, hg::encode(collection)));
+}
+
+}  // namespace sym::sonata

@@ -1,0 +1,126 @@
+// services/sonata/sonata.hpp
+//
+// Sonata: the Mochi microservice for remotely storing and querying JSON
+// documents, backed by an UnQLite-model embedded database (single-writer,
+// in-place Jx9-style queries). Unlike BAKE (blobs via bulk RDMA) and SDSKV
+// (small pairs), Sonata ships whole JSON documents as *RPC metadata* — so
+// large store_multi batches overflow Mercury's eager buffer and take the
+// internal-RDMA path, which is exactly the behaviour dissected in the
+// paper's Fig. 7 case study.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "argolite/sync.hpp"
+#include "margolite/instance.hpp"
+#include "services/sonata/json.hpp"
+#include "services/sonata/jx9lite.hpp"
+
+namespace sym::sonata {
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNoCollection = 1,
+  kBadJson = 2,
+  kBadFilter = 3,
+  kNotFound = 4,
+};
+
+/// UnQLite-model document store: named collections of JSON records with a
+/// database-wide single-writer lock.
+class UnqliteSim {
+ public:
+  explicit UnqliteSim(sim::Process& process) : process_(process) {}
+
+  bool create_collection(const std::string& name);
+  [[nodiscard]] bool has_collection(const std::string& name) const {
+    return collections_.count(name) != 0;
+  }
+
+  /// Store a parsed record; returns its id. Charges insert cost; callers
+  /// hold no lock (the store takes the writer lock internally).
+  std::uint64_t store(const std::string& collection, json::Value record);
+
+  [[nodiscard]] const json::Value* fetch(const std::string& collection,
+                                         std::uint64_t id) const;
+  [[nodiscard]] std::size_t size(const std::string& collection) const;
+
+  /// Run a compiled filter over a collection (charges per-record eval cost).
+  std::vector<const json::Value*> filter(const std::string& collection,
+                                         const jx9::Filter& f);
+
+  [[nodiscard]] std::size_t write_lock_waiters() const noexcept {
+    return write_lock_.waiters();
+  }
+
+ private:
+  sim::Process& process_;
+  std::map<std::string, std::vector<json::Value>> collections_;
+  abt::Mutex write_lock_;
+};
+
+class Provider {
+ public:
+  Provider(margo::Instance& mid, std::uint16_t provider_id);
+  Provider(const Provider&) = delete;
+  Provider& operator=(const Provider&) = delete;
+
+  [[nodiscard]] UnqliteSim& db() noexcept { return db_; }
+  [[nodiscard]] std::uint16_t provider_id() const noexcept {
+    return provider_id_;
+  }
+
+ private:
+  void handle_create_collection(margo::Request& req);
+  void handle_store(margo::Request& req);
+  void handle_store_multi(margo::Request& req);
+  void handle_fetch(margo::Request& req);
+  void handle_filter(margo::Request& req);
+  void handle_size(margo::Request& req);
+
+  margo::Instance& mid_;
+  std::uint16_t provider_id_;
+  UnqliteSim db_;
+};
+
+class Client {
+ public:
+  explicit Client(margo::Instance& mid);
+
+  Status create_collection(ofi::EpAddr target, std::uint16_t provider,
+                           const std::string& name);
+
+  /// Store one document (JSON text travels as RPC metadata).
+  Status store(ofi::EpAddr target, std::uint16_t provider,
+               const std::string& collection, const std::string& json_text,
+               std::uint64_t* id = nullptr);
+
+  /// Store a batch of documents encoded as one JSON array. This is the
+  /// `sonata_store_multi_json` call of the Fig. 7 benchmark.
+  Status store_multi(ofi::EpAddr target, std::uint16_t provider,
+                     const std::string& collection,
+                     const std::string& json_array_text,
+                     std::uint32_t* stored = nullptr);
+
+  Status fetch(ofi::EpAddr target, std::uint16_t provider,
+               const std::string& collection, std::uint64_t id,
+               std::string* json_text);
+
+  /// Execute a jx9lite filter server-side; returns matching documents.
+  Status filter(ofi::EpAddr target, std::uint16_t provider,
+                const std::string& collection, const std::string& filter_src,
+                std::vector<std::string>* matches);
+
+  std::uint64_t size(ofi::EpAddr target, std::uint16_t provider,
+                     const std::string& collection);
+
+ private:
+  margo::Instance& mid_;
+  hg::RpcId create_id_, store_id_, store_multi_id_, fetch_id_, filter_id_,
+      size_id_;
+};
+
+}  // namespace sym::sonata

@@ -1,0 +1,142 @@
+#include "services/ssg/ssg.hpp"
+
+namespace sym::ssg {
+namespace {
+
+constexpr const char* kGetViewRpc = "ssg_get_view_rpc";
+constexpr const char* kJoinRpc = "ssg_join_rpc";
+constexpr const char* kUpdateViewRpc = "ssg_update_view_rpc";
+
+// SSG RPCs are served by a reserved provider id so they never collide with
+// application providers.
+constexpr std::uint16_t kSsgProviderId = 0xFFF0;
+
+}  // namespace
+
+int GroupView::rank_of(ofi::EpAddr addr) const noexcept {
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == addr) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void put(hg::BufWriter& w, const GroupView& v) {
+  hg::put(w, v.name);
+  hg::put(w, v.version);
+  hg::put(w, v.members);
+}
+
+void get(hg::BufReader& r, GroupView& v) {
+  hg::get(r, v.name);
+  hg::get(r, v.version);
+  hg::get(r, v.members);
+}
+
+// ---------------------------------------------------------------------------
+// Member
+// ---------------------------------------------------------------------------
+
+Member::Member(margo::Instance& mid, std::string name,
+               std::vector<ofi::EpAddr> initial_members)
+    : mid_(mid) {
+  view_.name = std::move(name);
+  view_.version = 1;
+  view_.members = std::move(initial_members);
+  register_rpcs();
+}
+
+Member::Member(margo::Instance& mid, GroupView view)
+    : mid_(mid), view_(std::move(view)) {
+  register_rpcs();
+}
+
+void Member::register_rpcs() {
+  get_view_id_ = mid_.register_rpc(
+      kGetViewRpc, kSsgProviderId,
+      [this](margo::Request& r) { handle_get_view(r); });
+  join_id_ = mid_.register_rpc(kJoinRpc, kSsgProviderId,
+                               [this](margo::Request& r) { handle_join(r); });
+  update_view_id_ =
+      mid_.register_rpc(kUpdateViewRpc, kSsgProviderId,
+                        [this](margo::Request& r) { handle_update_view(r); });
+}
+
+void Member::handle_get_view(margo::Request& req) {
+  auto r = req.reader();
+  std::string name;
+  hg::get(r, name);
+  hg::BufWriter w;
+  hg::put(w, name == view_.name);
+  put(w, view_);
+  req.respond(w.take());
+}
+
+void Member::handle_join(margo::Request& req) {
+  auto r = req.reader();
+  std::string name;
+  ofi::EpAddr joiner = ofi::kInvalidAddr;
+  hg::get(r, name);
+  hg::get(r, joiner);
+
+  if (name == view_.name && view_.rank_of(joiner) < 0) {
+    view_.members.push_back(joiner);
+    ++view_.version;
+    ++updates_;
+    // Propagate to every other existing member.
+    hg::BufWriter upd;
+    put(upd, view_);
+    const auto payload = upd.take();
+    for (const auto m : view_.members) {
+      if (m == mid_.addr() || m == joiner) continue;
+      mid_.forward(m, kSsgProviderId, update_view_id_, payload);
+    }
+  }
+  hg::BufWriter w;
+  put(w, view_);
+  req.respond(w.take());
+}
+
+void Member::handle_update_view(margo::Request& req) {
+  auto r = req.reader();
+  GroupView incoming;
+  get(r, incoming);
+  if (incoming.name == view_.name && incoming.version > view_.version) {
+    view_ = std::move(incoming);
+    ++updates_;
+  }
+  req.respond({});
+}
+
+std::unique_ptr<Member> Member::join(margo::Instance& mid, std::string name,
+                                     ofi::EpAddr bootstrap) {
+  const auto join_id = mid.register_client_rpc(kJoinRpc);
+  hg::BufWriter w;
+  hg::put(w, name);
+  hg::put(w, mid.addr());
+  const auto resp = mid.forward(bootstrap, kSsgProviderId, join_id, w.take());
+  hg::BufReader r(resp);
+  GroupView view;
+  get(r, view);
+  return std::unique_ptr<Member>(new Member(mid, std::move(view)));
+}
+
+// ---------------------------------------------------------------------------
+// Observer
+// ---------------------------------------------------------------------------
+
+Observer::Observer(margo::Instance& mid)
+    : mid_(mid), get_view_id_(mid.register_client_rpc(kGetViewRpc)) {}
+
+GroupView Observer::observe(ofi::EpAddr member, const std::string& name) {
+  const auto resp =
+      mid_.forward(member, kSsgProviderId, get_view_id_, hg::encode(name));
+  hg::BufReader r(resp);
+  bool known = false;
+  hg::get(r, known);
+  GroupView view;
+  get(r, view);
+  if (!known) view.members.clear();
+  return view;
+}
+
+}  // namespace sym::ssg

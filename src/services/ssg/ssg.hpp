@@ -1,0 +1,93 @@
+// services/ssg/ssg.hpp
+//
+// SSG (Scalable Service Groups): the Mochi core component for group
+// membership (paper §III-B lists it among Mochi's core components). A
+// group maps dense ranks to endpoint addresses; servers bootstrap a group
+// from a known member list, and clients *observe* a group through any
+// member to discover the full view — the pattern HEPnOS clients use to find
+// their providers.
+//
+// RPCs: ssg_get_view_rpc (observe), ssg_join_rpc (dynamic join, view
+// version bump + propagation to existing members).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "margolite/instance.hpp"
+
+namespace sym::ssg {
+
+/// An immutable snapshot of a group's membership.
+struct GroupView {
+  std::string name;
+  std::uint64_t version = 0;
+  std::vector<ofi::EpAddr> members;  ///< rank -> endpoint address
+
+  [[nodiscard]] std::size_t size() const noexcept { return members.size(); }
+  [[nodiscard]] int rank_of(ofi::EpAddr addr) const noexcept;
+};
+
+void put(hg::BufWriter& w, const GroupView& v);
+void get(hg::BufReader& r, GroupView& v);
+
+/// A member's handle on a group: holds the live view and serves membership
+/// RPCs for it. Create one per participating margolite instance.
+class Member {
+ public:
+  /// Bootstrap: every founding member constructs with the same name and
+  /// initial member list (which must contain its own address).
+  Member(margo::Instance& mid, std::string name,
+         std::vector<ofi::EpAddr> initial_members);
+
+  [[nodiscard]] const GroupView& view() const noexcept { return view_; }
+  [[nodiscard]] int self_rank() const noexcept {
+    return view_.rank_of(mid_.addr());
+  }
+  [[nodiscard]] ofi::EpAddr member(std::size_t rank) const {
+    return view_.members.at(rank);
+  }
+
+  /// Dynamically join an existing group through `bootstrap`: fetches the
+  /// view, appends self, and propagates the new view to every prior member.
+  /// Must run in ULT context.
+  static std::unique_ptr<Member> join(margo::Instance& mid, std::string name,
+                                      ofi::EpAddr bootstrap);
+
+  /// Number of view updates this member has accepted (diagnostics).
+  [[nodiscard]] std::uint64_t updates_received() const noexcept {
+    return updates_;
+  }
+
+ private:
+  Member(margo::Instance& mid, GroupView view);
+  void register_rpcs();
+  void handle_get_view(margo::Request& req);
+  void handle_join(margo::Request& req);
+  void handle_update_view(margo::Request& req);
+
+  margo::Instance& mid_;
+  GroupView view_;
+  std::uint64_t updates_ = 0;
+  hg::RpcId get_view_id_ = 0;
+  hg::RpcId join_id_ = 0;
+  hg::RpcId update_view_id_ = 0;
+};
+
+/// Client-side observer: fetch a group's view without being a member.
+class Observer {
+ public:
+  explicit Observer(margo::Instance& mid);
+
+  /// Fetch the current view from any member. Must run in ULT context.
+  [[nodiscard]] GroupView observe(ofi::EpAddr member,
+                                  const std::string& name);
+
+ private:
+  margo::Instance& mid_;
+  hg::RpcId get_view_id_;
+};
+
+}  // namespace sym::ssg

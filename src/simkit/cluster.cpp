@@ -1,0 +1,51 @@
+#include "simkit/cluster.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace sym::sim {
+
+TimeNs Node::reserve_nic(TimeNs now, std::uint64_t bytes,
+                         double bw_bytes_per_ns) {
+  assert(bw_bytes_per_ns > 0.0);
+  const TimeNs start = now > nic_busy_until_ ? now : nic_busy_until_;
+  const auto xfer =
+      static_cast<DurationNs>(std::llround(static_cast<double>(bytes) /
+                                           bw_bytes_per_ns));
+  nic_busy_until_ = start + xfer;
+  nic_bytes_total_ += bytes;
+  return nic_busy_until_;
+}
+
+double Process::cpu_utilization(TimeNs since, TimeNs now,
+                                unsigned cores) const noexcept {
+  if (now <= since || cores == 0) return 0.0;
+  const DurationNs busy = cpu_time_ - cpu_checkpoint_value_;
+  const double window = static_cast<double>(now - since) * cores;
+  const double util = static_cast<double>(busy) / window;
+  return util > 1.0 ? 1.0 : util;
+}
+
+Cluster::Cluster(Engine& engine, ClusterParams params)
+    : engine_(engine), params_(params) {
+  nodes_.reserve(params_.node_count);
+  for (NodeId id = 0; id < params_.node_count; ++id) {
+    std::int64_t skew = 0;
+    if (id != 0 && params_.max_clock_skew > 0) {
+      const auto span = static_cast<std::uint64_t>(params_.max_clock_skew);
+      skew = static_cast<std::int64_t>(engine_.rng().uniform(2 * span + 1)) -
+             static_cast<std::int64_t>(span);
+    }
+    nodes_.emplace_back(id, skew);
+  }
+}
+
+Process& Cluster::spawn_process(NodeId node, std::string name) {
+  assert(node < nodes_.size());
+  const auto pid = static_cast<ProcessId>(processes_.size());
+  processes_.push_back(std::make_unique<Process>(pid, node, std::move(name)));
+  return *processes_.back();
+}
+
+}  // namespace sym::sim

@@ -1,0 +1,62 @@
+#include "simkit/engine.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace sym::sim {
+
+Engine::EventId Engine::at(TimeNs t, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  if (t < now_) t = now_;  // no scheduling into the past
+  const EventId id = next_id_++;
+  heap_.push(Ev{t, id, std::move(cb)});
+  return id;
+}
+
+bool Engine::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  // Lazy cancellation: the heap entry stays in place and is skipped when it
+  // surfaces. This keeps cancel() O(1) at the cost of a set lookup per pop.
+  const bool inserted = cancelled_.insert(id).second;
+  if (inserted) ++cancelled_live_;
+  return inserted;
+}
+
+bool Engine::pop_and_run() {
+  while (!heap_.empty()) {
+    Ev ev = std::move(const_cast<Ev&>(heap_.top()));
+    heap_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_live_;
+      continue;
+    }
+    now_ = ev.t;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+bool Engine::step() { return pop_and_run(); }
+
+void Engine::run() {
+  while (!stopped_ && pop_and_run()) {
+  }
+}
+
+void Engine::run_until(TimeNs deadline) {
+  while (!stopped_ && !heap_.empty()) {
+    // Skip over cancelled entries to find the true next event time.
+    while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
+      cancelled_.erase(heap_.top().id);
+      --cancelled_live_;
+      heap_.pop();
+    }
+    if (heap_.empty() || heap_.top().t > deadline) break;
+    pop_and_run();
+  }
+}
+
+}  // namespace sym::sim

@@ -1,0 +1,105 @@
+// simkit/engine.hpp
+//
+// The discrete-event simulation engine at the heart of the simulated
+// cluster. The engine owns a single global virtual clock and an event queue.
+// Everything above it (execution streams, the fabric, databases) expresses
+// the passage of time by scheduling callbacks.
+//
+// The engine is strictly single-threaded: events with equal timestamps are
+// executed in insertion order (FIFO tie-break via a sequence number), which
+// together with the seeded Rng makes entire experiments bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "simkit/rng.hpp"
+#include "simkit/time.hpp"
+
+namespace sym::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Opaque handle for cancelling a scheduled event.
+  using EventId = std::uint64_t;
+
+  explicit Engine(std::uint64_t seed = 0x5EEDC0DEULL) : rng_(seed) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+
+  /// Deterministic RNG shared by all simulation components.
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+
+  /// Schedule `cb` at absolute virtual time `t` (clamped to now()).
+  EventId at(TimeNs t, Callback cb);
+
+  /// Schedule `cb` after `d` nanoseconds of virtual time.
+  EventId after(DurationNs d, Callback cb) { return at(now_ + d, std::move(cb)); }
+
+  /// Cancel a previously scheduled event. Safe to call after the event has
+  /// fired (it becomes a no-op). Returns true if the event was still pending.
+  bool cancel(EventId id);
+
+  /// Run until the event queue drains or stop() is called.
+  void run();
+
+  /// Run until virtual time would exceed `deadline` (events at exactly
+  /// `deadline` still execute), the queue drains, or stop() is called.
+  void run_until(TimeNs deadline);
+
+  /// Execute a single event. Returns false if the queue was empty.
+  bool step();
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() noexcept { stopped_ = true; }
+
+  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+
+  /// Clear the stop flag so the engine can be driven again.
+  void reset_stop() noexcept { stopped_ = false; }
+
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return heap_.size() - cancelled_live_;
+  }
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+
+ private:
+  struct Ev {
+    TimeNs t;
+    EventId id;
+    Callback cb;
+  };
+  struct EvCmp {
+    bool operator()(const Ev& a, const Ev& b) const noexcept {
+      // std::priority_queue is a max-heap; invert for earliest-first, with
+      // the monotonically increasing id as a FIFO tie-break.
+      if (a.t != b.t) return a.t > b.t;
+      return a.id > b.id;
+    }
+  };
+
+  bool pop_and_run();
+
+  TimeNs now_ = 0;
+  bool stopped_ = false;
+  EventId next_id_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t cancelled_live_ = 0;
+  std::priority_queue<Ev, std::vector<Ev>, EvCmp> heap_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace sym::sim

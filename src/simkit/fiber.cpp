@@ -1,0 +1,116 @@
+#include "simkit/fiber.hpp"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace sym::sim {
+namespace {
+
+thread_local Fiber* g_current_fiber = nullptr;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// FiberStack / StackPool
+// ---------------------------------------------------------------------------
+
+FiberStack::FiberStack(std::size_t size) : size_(size) {
+  // Plain heap allocation: large blocks come from mmap and commit lazily,
+  // so thousands of mostly-idle fiber stacks stay cheap.
+  base_ = ::operator new(size);
+}
+
+FiberStack::~FiberStack() { ::operator delete(base_); }
+
+StackPool& StackPool::instance() {
+  static StackPool pool;
+  return pool;
+}
+
+std::unique_ptr<FiberStack> StackPool::acquire(std::size_t size) {
+  if (!pool_.empty() && pool_.back()->size() >= size) {
+    auto stack = std::move(pool_.back());
+    pool_.pop_back();
+    return stack;
+  }
+  ++allocated_;
+  return std::make_unique<FiberStack>(size);
+}
+
+void StackPool::release(std::unique_ptr<FiberStack> stack) {
+  constexpr std::size_t kMaxPooled = 4096;
+  if (pool_.size() < kMaxPooled) pool_.push_back(std::move(stack));
+}
+
+void StackPool::drain() { pool_.clear(); }
+
+// ---------------------------------------------------------------------------
+// Fiber
+// ---------------------------------------------------------------------------
+
+Fiber::Fiber(std::function<void()> entry, std::size_t stack_size)
+    : entry_(std::move(entry)),
+      stack_(StackPool::instance().acquire(stack_size)) {
+  assert(entry_ && "fiber requires an entry function");
+}
+
+Fiber::~Fiber() {
+  assert(g_current_fiber != this && "a fiber cannot destroy itself");
+  // Returning a live (suspended, unfinished) fiber's stack to the pool would
+  // corrupt it on reuse; only recycle stacks of never-started or finished
+  // fibers. Abandoning a suspended fiber simply frees the stack.
+  if (!started_ || finished_) {
+    StackPool::instance().release(std::move(stack_));
+  }
+}
+
+Fiber* Fiber::current() noexcept { return g_current_fiber; }
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  self->run_entry();
+  // Mark finished *before* the implicit uc_link switch back to the scheduler.
+  self->finished_ = true;
+  // Falling off the trampoline follows uc_link (return_ctx_), landing back
+  // in switch_in()'s caller.
+}
+
+void Fiber::run_entry() { entry_(); }
+
+void Fiber::switch_in() {
+  assert(!finished_ && "cannot resume a finished fiber");
+  assert(g_current_fiber == nullptr && "nested fibers are not supported");
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&ctx_) != 0) throw std::runtime_error("getcontext failed");
+    ctx_.uc_stack.ss_sp = stack_->base();
+    ctx_.uc_stack.ss_size = stack_->size();
+    ctx_.uc_link = &return_ctx_;
+    const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+    makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+                static_cast<unsigned>(ptr >> 32),
+                static_cast<unsigned>(ptr & 0xFFFFFFFFu));
+  }
+  ++switches_;
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  if (swapcontext(&return_ctx_, &ctx_) != 0) {
+    g_current_fiber = prev;
+    throw std::runtime_error("swapcontext into fiber failed");
+  }
+  g_current_fiber = prev;
+}
+
+void Fiber::switch_out() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "switch_out() called outside any fiber");
+  if (swapcontext(&self->ctx_, &self->return_ctx_) != 0) {
+    throw std::runtime_error("swapcontext out of fiber failed");
+  }
+}
+
+}  // namespace sym::sim

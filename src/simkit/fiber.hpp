@@ -1,0 +1,105 @@
+// simkit/fiber.hpp
+//
+// Cooperative user-level execution contexts ("fibers") built on ucontext.
+// These are the mechanism behind argolite ULTs: service handler code runs as
+// real C++ on a fiber stack and cooperatively switches back to the scheduler
+// (the simulation engine's main context) whenever it performs a simulated
+// blocking operation.
+//
+// Stacks are recycled through a process-wide free list because the services
+// spawn one ULT per RPC request; allocation churn would otherwise dominate
+// host-side run time at scale.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <ucontext.h>
+
+namespace sym::sim {
+
+/// A reusable fiber stack. Obtained from and returned to StackPool.
+class FiberStack {
+ public:
+  explicit FiberStack(std::size_t size);
+  ~FiberStack();
+  FiberStack(const FiberStack&) = delete;
+  FiberStack& operator=(const FiberStack&) = delete;
+
+  [[nodiscard]] void* base() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// Process-wide recycling pool for fiber stacks of a single size class.
+class StackPool {
+ public:
+  static StackPool& instance();
+
+  std::unique_ptr<FiberStack> acquire(std::size_t size);
+  void release(std::unique_ptr<FiberStack> stack);
+
+  [[nodiscard]] std::size_t pooled() const noexcept { return pool_.size(); }
+  [[nodiscard]] std::uint64_t total_allocated() const noexcept {
+    return allocated_;
+  }
+
+  /// Drop all pooled stacks (used by tests to check for leaks).
+  void drain();
+
+ private:
+  StackPool() = default;
+  std::vector<std::unique_ptr<FiberStack>> pool_;
+  std::uint64_t allocated_ = 0;
+};
+
+/// A cooperative execution context. switch_in() transfers control from the
+/// scheduler into the fiber; Fiber::switch_out() (called from fiber code)
+/// transfers control back. When the entry function returns, the fiber is
+/// `finished` and control lands back in the scheduler automatically.
+class Fiber {
+ public:
+  static constexpr std::size_t kDefaultStackSize = 128 * 1024;
+
+  explicit Fiber(std::function<void()> entry,
+                 std::size_t stack_size = kDefaultStackSize);
+  ~Fiber();
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Enter (or resume) the fiber. Must be called from scheduler context.
+  void switch_in();
+
+  /// Suspend the currently running fiber and return to scheduler context.
+  /// Must be called from within a fiber.
+  static void switch_out();
+
+  /// The fiber currently executing, or nullptr when in scheduler context.
+  static Fiber* current() noexcept;
+
+  [[nodiscard]] bool finished() const noexcept { return finished_; }
+  [[nodiscard]] bool started() const noexcept { return started_; }
+
+  /// Number of times this fiber has been entered (diagnostics).
+  [[nodiscard]] std::uint64_t switch_count() const noexcept {
+    return switches_;
+  }
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+  void run_entry();
+
+  std::function<void()> entry_;
+  std::unique_ptr<FiberStack> stack_;
+  ucontext_t ctx_{};
+  ucontext_t return_ctx_{};
+  bool started_ = false;
+  bool finished_ = false;
+  std::uint64_t switches_ = 0;
+};
+
+}  // namespace sym::sim

@@ -1,0 +1,42 @@
+// simkit/time.hpp
+//
+// Virtual time representation for the SYMBIOSYS simulated cluster.
+// All simulated timestamps and durations are expressed in nanoseconds of
+// virtual time as unsigned 64-bit integers. 2^64 ns is roughly 584 years,
+// which comfortably exceeds any simulated experiment horizon.
+#pragma once
+
+#include <cstdint>
+
+namespace sym::sim {
+
+/// A point in virtual time, in nanoseconds since simulation start.
+using TimeNs = std::uint64_t;
+
+/// A span of virtual time, in nanoseconds.
+using DurationNs = std::uint64_t;
+
+/// Convenience constructors for durations. These are plain constexpr
+/// functions (not user-defined literals) so call sites read naturally in
+/// configuration tables: `usec(15)`, `msec(2)`.
+constexpr DurationNs nsec(std::uint64_t n) noexcept { return n; }
+constexpr DurationNs usec(std::uint64_t n) noexcept { return n * 1'000ULL; }
+constexpr DurationNs msec(std::uint64_t n) noexcept { return n * 1'000'000ULL; }
+constexpr DurationNs sec(std::uint64_t n) noexcept { return n * 1'000'000'000ULL; }
+
+/// Convert a virtual duration to floating-point seconds (for reports).
+constexpr double to_seconds(DurationNs d) noexcept {
+  return static_cast<double>(d) / 1e9;
+}
+
+/// Convert a virtual duration to floating-point microseconds (for reports).
+constexpr double to_micros(DurationNs d) noexcept {
+  return static_cast<double>(d) / 1e3;
+}
+
+/// Convert a virtual duration to floating-point milliseconds (for reports).
+constexpr double to_millis(DurationNs d) noexcept {
+  return static_cast<double>(d) / 1e6;
+}
+
+}  // namespace sym::sim

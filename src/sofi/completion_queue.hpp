@@ -1,0 +1,58 @@
+// sofi/completion_queue.hpp
+//
+// Completion queue with bounded reads and ULT-blocking wait, mirroring
+// fi_cq_read semantics. The bounded read count is what Mercury exports as
+// the `num_ofi_events_read` PVAR.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "simkit/engine.hpp"
+#include "sofi/types.hpp"
+
+namespace sym::abt {
+class Ult;
+}
+
+namespace sym::ofi {
+
+class CompletionQueue {
+ public:
+  explicit CompletionQueue(sim::Engine& engine) : engine_(engine) {}
+  CompletionQueue(const CompletionQueue&) = delete;
+  CompletionQueue& operator=(const CompletionQueue&) = delete;
+
+  /// Enqueue an event; wakes a blocked wait_nonempty() caller if present.
+  void push(CqEntry entry);
+
+  /// Drain up to `max_events` entries into `out` (appended). Returns the
+  /// number read — the value of the `num_ofi_events_read` PVAR.
+  std::size_t read(std::vector<CqEntry>& out, std::size_t max_events);
+
+  /// Block the calling ULT until the queue is non-empty or `timeout`
+  /// expires. Returns true if the queue is non-empty on return. Only one
+  /// waiter at a time is supported (the progress ULT).
+  bool wait_nonempty(sim::DurationNs timeout);
+
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+
+  /// Highest queue depth ever observed (a HIGHWATERMARK-class metric).
+  [[nodiscard]] std::size_t high_watermark() const noexcept {
+    return high_watermark_;
+  }
+  [[nodiscard]] std::uint64_t total_pushed() const noexcept {
+    return total_pushed_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  std::deque<CqEntry> q_;
+  std::size_t high_watermark_ = 0;
+  std::uint64_t total_pushed_ = 0;
+  abt::Ult* waiter_ = nullptr;
+  sim::Engine::EventId waiter_timeout_ = 0;
+};
+
+}  // namespace sym::ofi

@@ -1,0 +1,382 @@
+#include "symbiosys/analysis.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace sym::prof {
+namespace {
+
+std::string format_ns(double ns) {
+  char buf[64];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3f us", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f ns", ns);
+  }
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ProfileSummary
+// ---------------------------------------------------------------------------
+
+double CallpathBreakdown::unaccounted_ns() const noexcept {
+  // Everything measured on the wire path except the origin execution time
+  // itself. kOriginExec (t1->t14) is the envelope; the measured components
+  // are the Table III intervals.
+  double measured = 0;
+  for (int i = 0; i < static_cast<int>(Interval::kCount); ++i) {
+    if (i == static_cast<int>(Interval::kOriginExec)) continue;
+    measured += interval_sum_ns[i];
+  }
+  const double gap = cumulative_ns - measured;
+  return gap > 0 ? gap : 0;
+}
+
+ProfileSummary ProfileSummary::build(
+    const std::vector<const ProfileStore*>& stores) {
+  // Global analysis: merge every entity's records per breadcrumb.
+  std::unordered_map<Breadcrumb, CallpathBreakdown> merged;
+  std::unordered_map<Breadcrumb, std::map<std::uint32_t, double>> per_origin;
+  std::unordered_map<Breadcrumb, std::map<std::uint32_t, double>> per_target;
+
+  for (const ProfileStore* store : stores) {
+    for (const auto& [key, stats] : store->entries()) {
+      auto& cb = merged[key.breadcrumb];
+      cb.breadcrumb = key.breadcrumb;
+      for (int i = 0; i < static_cast<int>(Interval::kCount); ++i) {
+        const auto& iv = stats.intervals[i];
+        cb.interval_sum_ns[i] += iv.sum_ns;
+        cb.interval_count[i] += iv.count;
+      }
+      const auto& origin_exec =
+          stats.at(Interval::kOriginExec);
+      if (key.side == Side::kOrigin) {
+        cb.call_count += origin_exec.count;
+        cb.cumulative_ns += origin_exec.sum_ns;
+        per_origin[key.breadcrumb][key.self_ep] += origin_exec.sum_ns;
+      } else {
+        per_target[key.breadcrumb][key.self_ep] +=
+            stats.at(Interval::kTargetExec).sum_ns;
+      }
+    }
+  }
+
+  ProfileSummary out;
+  out.callpaths.reserve(merged.size());
+  for (auto& [bc, cb] : merged) {
+    cb.name = NameRegistry::global().format(bc);
+    for (const auto& [ep, ns] : per_origin[bc]) {
+      cb.per_origin_ns.emplace_back(ep, ns);
+    }
+    for (const auto& [ep, ns] : per_target[bc]) {
+      cb.per_target_ns.emplace_back(ep, ns);
+    }
+    out.total_ns += cb.cumulative_ns;
+    out.callpaths.push_back(std::move(cb));
+  }
+  std::sort(out.callpaths.begin(), out.callpaths.end(),
+            [](const CallpathBreakdown& a, const CallpathBreakdown& b) {
+              if (a.cumulative_ns != b.cumulative_ns) {
+                return a.cumulative_ns > b.cumulative_ns;
+              }
+              return a.breadcrumb < b.breadcrumb;  // deterministic tie-break
+            });
+  return out;
+}
+
+const CallpathBreakdown* ProfileSummary::find_by_leaf(
+    const std::string& leaf_name) const {
+  const auto leaf = hash16(leaf_name);
+  for (const auto& cb : callpaths) {
+    if (leaf_of(cb.breadcrumb) == leaf) return &cb;
+  }
+  return nullptr;
+}
+
+std::string ProfileSummary::format(std::size_t top_n) const {
+  std::string out;
+  out += "=== SYMBIOSYS profile summary: dominant callpaths by cumulative "
+         "end-to-end request latency ===\n";
+  char line[256];
+  std::size_t shown = 0;
+  for (const auto& cb : callpaths) {
+    if (shown++ >= top_n) break;
+    std::snprintf(line, sizeof(line), "[%zu] %s\n", shown, cb.name.c_str());
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "     calls=%llu  cumulative=%s  origins=%zu  targets=%zu\n",
+                  static_cast<unsigned long long>(cb.call_count),
+                  format_ns(cb.cumulative_ns).c_str(), cb.per_origin_ns.size(),
+                  cb.per_target_ns.size());
+    out += line;
+    for (int i = 0; i < static_cast<int>(Interval::kCount); ++i) {
+      if (i == static_cast<int>(Interval::kOriginExec)) continue;
+      if (cb.interval_count[i] == 0) continue;
+      std::snprintf(line, sizeof(line), "       %-36s %12s (%5.1f%%)\n",
+                    to_string(static_cast<Interval>(i)),
+                    format_ns(cb.interval_sum_ns[i]).c_str(),
+                    cb.cumulative_ns > 0
+                        ? 100.0 * cb.interval_sum_ns[i] / cb.cumulative_ns
+                        : 0.0);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "       %-36s %12s (%5.1f%%)\n",
+                  "unaccounted", format_ns(cb.unaccounted_ns()).c_str(),
+                  cb.cumulative_ns > 0
+                      ? 100.0 * cb.unaccounted_ns() / cb.cumulative_ns
+                      : 0.0);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceSummary
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Key pairing the four events of one span. The emitting side reserves four
+/// consecutive order slots per call: origin start = n, target start = n+1,
+/// target end = n+2, origin end = n+3.
+struct SpanKey {
+  std::uint64_t request_id;
+  Breadcrumb bc;
+  std::uint32_t base_order;
+  bool operator<(const SpanKey& o) const {
+    if (request_id != o.request_id) return request_id < o.request_id;
+    if (bc != o.bc) return bc < o.bc;
+    return base_order < o.base_order;
+  }
+};
+
+std::uint32_t base_order_of(const TraceEvent& ev) {
+  switch (ev.kind) {
+    case TraceEventKind::kOriginStart: return ev.order;
+    case TraceEventKind::kTargetStart: return ev.order - 1;
+    case TraceEventKind::kTargetEnd: return ev.order - 2;
+    case TraceEventKind::kOriginEnd: return ev.order - 3;
+  }
+  return ev.order;
+}
+
+}  // namespace
+
+TraceSummary TraceSummary::build(
+    const std::vector<const TraceStore*>& stores) {
+  TraceSummary out;
+
+  // Pass 1: group raw events into spans (uncorrected timestamps).
+  std::map<SpanKey, Span> spans;
+  std::map<SpanKey, std::array<sim::TimeNs, 4>> raw_ts;  // local clocks
+  for (const TraceStore* store : stores) {
+    for (const TraceEvent& ev : store->events()) {
+      ++out.total_events;
+      const SpanKey key{ev.request_id, ev.breadcrumb, base_order_of(ev)};
+      Span& sp = spans[key];
+      sp.request_id = ev.request_id;
+      sp.breadcrumb = ev.breadcrumb;
+      sp.base_order = key.base_order;
+      auto& ts = raw_ts[key];
+      switch (ev.kind) {
+        case TraceEventKind::kOriginStart:
+          sp.origin_ep = ev.self_ep;
+          sp.target_ep = ev.peer_ep;
+          ts[0] = ev.local_ts;
+          break;
+        case TraceEventKind::kTargetStart:
+          sp.target_ep = ev.self_ep;
+          sp.target_blocked_ults = ev.blocked_ults;
+          ts[1] = ev.local_ts;
+          break;
+        case TraceEventKind::kTargetEnd:
+          ts[2] = ev.local_ts;
+          break;
+        case TraceEventKind::kOriginEnd:
+          sp.origin_ofi_events_read = ev.num_ofi_events_read;
+          ts[3] = ev.local_ts;
+          break;
+      }
+    }
+  }
+
+  // Pass 2: clock-skew estimation. For every (origin, target) endpoint pair
+  // with complete spans, the NTP-style symmetric-delay estimate of the
+  // target's offset relative to the origin is
+  //     theta = ((t5 - t1) - (t14 - t8)) / 2
+  // Averaging over spans cancels queueing noise; a BFS over the pair graph
+  // anchors every endpoint to the smallest endpoint id (the reference).
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::pair<double, int>>
+      pair_theta;
+  for (const auto& [key, sp] : spans) {
+    const auto& ts = raw_ts[key];
+    if (ts[0] == 0 || ts[1] == 0 || ts[2] == 0 || ts[3] == 0) continue;
+    if (sp.origin_ep == sp.target_ep) continue;
+    const double fwd = static_cast<double>(ts[1]) - static_cast<double>(ts[0]);
+    const double bwd = static_cast<double>(ts[3]) - static_cast<double>(ts[2]);
+    const double theta = (fwd - bwd) / 2.0;
+    auto& acc = pair_theta[{sp.origin_ep, sp.target_ep}];
+    acc.first += theta;
+    acc.second += 1;
+  }
+
+  std::set<std::uint32_t> eps;
+  for (const auto& [key, sp] : spans) {
+    eps.insert(sp.origin_ep);
+    eps.insert(sp.target_ep);
+  }
+  std::map<std::uint32_t, double>& offset = out.clock_offset_ns;
+  if (!eps.empty()) {
+    // adjacency with averaged thetas in both directions
+    std::map<std::uint32_t, std::vector<std::pair<std::uint32_t, double>>> adj;
+    for (const auto& [pair, acc] : pair_theta) {
+      const double theta = acc.first / acc.second;
+      adj[pair.first].emplace_back(pair.second, theta);
+      adj[pair.second].emplace_back(pair.first, -theta);
+    }
+    // BFS from each yet-unvisited endpoint (reference offset 0).
+    for (const auto ref : eps) {
+      if (offset.count(ref) != 0) continue;
+      offset[ref] = 0;
+      std::vector<std::uint32_t> queue{ref};
+      while (!queue.empty()) {
+        const auto u = queue.back();
+        queue.pop_back();
+        for (const auto& [v, theta] : adj[u]) {
+          if (offset.count(v) != 0) continue;
+          offset[v] = offset[u] + theta;
+          queue.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Pass 3: apply corrections and assemble per-request traces.
+  auto corrected = [&](std::uint32_t ep, sim::TimeNs local) -> sim::TimeNs {
+    if (local == 0) return 0;
+    const auto it = offset.find(ep);
+    const double off = it == offset.end() ? 0.0 : it->second;
+    const double t = static_cast<double>(local) - off;
+    return t < 0 ? 0 : static_cast<sim::TimeNs>(t);
+  };
+
+  std::map<std::uint64_t, RequestTrace> by_request;
+  for (auto& [key, sp] : spans) {
+    const auto& ts = raw_ts[key];
+    sp.origin_start = corrected(sp.origin_ep, ts[0]);
+    sp.target_start = corrected(sp.target_ep, ts[1]);
+    sp.target_end = corrected(sp.target_ep, ts[2]);
+    sp.origin_end = corrected(sp.origin_ep, ts[3]);
+    auto& rt = by_request[sp.request_id];
+    rt.request_id = sp.request_id;
+    rt.spans.push_back(sp);
+    ++out.total_spans;
+  }
+  out.requests.reserve(by_request.size());
+  for (auto& [rid, rt] : by_request) {
+    std::sort(rt.spans.begin(), rt.spans.end(),
+              [](const Span& a, const Span& b) {
+                if (a.origin_start != b.origin_start) {
+                  return a.origin_start < b.origin_start;
+                }
+                return a.base_order < b.base_order;
+              });
+    out.requests.push_back(std::move(rt));
+  }
+  return out;
+}
+
+const RequestTrace* TraceSummary::find(std::uint64_t request_id) const {
+  for (const auto& rt : requests) {
+    if (rt.request_id == request_id) return &rt;
+  }
+  return nullptr;
+}
+
+std::string TraceSummary::format_request(const RequestTrace& rt) const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "request %llx: %zu spans\n",
+                static_cast<unsigned long long>(rt.request_id),
+                rt.spans.size());
+  out += line;
+  if (rt.spans.empty()) return out;
+  const sim::TimeNs t0 = rt.spans.front().origin_start;
+  const auto& reg = NameRegistry::global();
+  for (const auto& sp : rt.spans) {
+    const int indent = 2 * (depth(sp.breadcrumb) - 1);
+    std::snprintf(line, sizeof(line),
+                  "  %*s%-40s [%10.2f us .. %10.2f us] ep%u -> ep%u\n", indent,
+                  "", reg.format(sp.breadcrumb).c_str(),
+                  (static_cast<double>(sp.origin_start) -
+                   static_cast<double>(t0)) /
+                      1e3,
+                  (static_cast<double>(sp.origin_end) -
+                   static_cast<double>(t0)) /
+                      1e3,
+                  sp.origin_ep, sp.target_ep);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// SysStatsSummary
+// ---------------------------------------------------------------------------
+
+SysStatsSummary SysStatsSummary::build(
+    const std::vector<std::pair<std::string, const SysStatStore*>>& stores) {
+  SysStatsSummary out;
+  for (const auto& [name, store] : stores) {
+    SysStatsProcessSummary s;
+    s.process = name;
+    s.samples = store->size();
+    for (const auto& row : store->samples()) {
+      const double rss_mb = static_cast<double>(row.rss_bytes) / (1 << 20);
+      s.mean_rss_mb += rss_mb;
+      s.max_rss_mb = std::max(s.max_rss_mb, rss_mb);
+      s.mean_cpu += row.cpu_util;
+      s.mean_blocked += row.blocked_ults;
+      s.max_blocked = std::max<double>(s.max_blocked, row.blocked_ults);
+      s.max_cq_size = std::max<double>(s.max_cq_size,
+                                       row.completion_queue_size);
+    }
+    if (s.samples > 0) {
+      s.mean_rss_mb /= static_cast<double>(s.samples);
+      s.mean_cpu /= static_cast<double>(s.samples);
+      s.mean_blocked /= static_cast<double>(s.samples);
+    }
+    out.per_process.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string SysStatsSummary::format() const {
+  std::string out =
+      "=== SYMBIOSYS system statistics summary ===\n"
+      "process                  samples  rss(MB) mean/max   cpu    blocked "
+      "mean/max   cq max\n";
+  char line[256];
+  for (const auto& s : per_process) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %7zu  %7.1f/%-7.1f  %5.1f%%  %7.1f/%-7.0f  %6.0f\n",
+                  s.process.c_str(), s.samples, s.mean_rss_mb, s.max_rss_mb,
+                  100.0 * s.mean_cpu, s.mean_blocked, s.max_blocked,
+                  s.max_cq_size);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sym::prof

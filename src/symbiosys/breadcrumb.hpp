@@ -1,0 +1,73 @@
+// symbiosys/breadcrumb.hpp
+//
+// Distributed callpath breadcrumbs (paper §IV-A1).
+//
+// Each RPC name is hashed to 16 bits. A callpath ("callchain") is encoded in
+// a single 64-bit value: the caller shifts its own ancestry left by 16 bits
+// and ORs in the hash of the downstream RPC name, so the lowest 16 bits
+// always identify the most recent call and the value holds callpath lengths
+// of up to four, exactly as implemented in Margo.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "simkit/rng.hpp"
+
+namespace sym::prof {
+
+using Breadcrumb = std::uint64_t;
+
+/// Maximum callpath depth representable in 64 bits with 16-bit components.
+inline constexpr int kMaxCallpathDepth = 4;
+
+/// 16-bit RPC-name hash (folded FNV-1a). 0 is reserved for "no ancestry",
+/// so a hash that lands on 0 is nudged to 1.
+[[nodiscard]] inline std::uint16_t hash16(std::string_view name) noexcept {
+  const std::uint64_t h = sim::fnv1a64(name.data(), name.size());
+  auto folded = static_cast<std::uint16_t>(h ^ (h >> 16) ^ (h >> 32) ^
+                                           (h >> 48));
+  return folded == 0 ? std::uint16_t{1} : folded;
+}
+
+/// Extend a callpath with a downstream call: 16-bit left shift, then OR.
+[[nodiscard]] constexpr Breadcrumb extend(Breadcrumb parent,
+                                          std::uint16_t leaf) noexcept {
+  return (parent << 16) | leaf;
+}
+
+/// Split a breadcrumb into its (root-first) 16-bit components.
+[[nodiscard]] std::vector<std::uint16_t> components(Breadcrumb bc);
+
+/// Depth of the callpath encoded in `bc` (1..4; 0 for bc == 0).
+[[nodiscard]] int depth(Breadcrumb bc) noexcept;
+
+/// The leaf (most recent) component.
+[[nodiscard]] constexpr std::uint16_t leaf_of(Breadcrumb bc) noexcept {
+  return static_cast<std::uint16_t>(bc & 0xFFFF);
+}
+
+/// Registry mapping 16-bit name hashes back to RPC names for reporting.
+/// One registry is shared per simulation (names are identical everywhere).
+class NameRegistry {
+ public:
+  void register_name(std::string_view name);
+  [[nodiscard]] std::string lookup(std::uint16_t h) const;
+
+  /// Render a breadcrumb as "a => b => c" using registered names.
+  [[nodiscard]] std::string format(Breadcrumb bc) const;
+
+  void clear() { names_.clear(); }
+
+  /// Simulation-global instance (deterministic: names only, no state that
+  /// affects execution).
+  static NameRegistry& global();
+
+ private:
+  std::unordered_map<std::uint16_t, std::string> names_;
+};
+
+}  // namespace sym::prof

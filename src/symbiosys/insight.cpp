@@ -1,0 +1,272 @@
+#include "symbiosys/insight.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace sym::prof {
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Children of `parent` within the same request: spans one level deeper
+/// whose ancestry prefix equals the parent's breadcrumb and whose interval
+/// falls inside the parent's.
+std::vector<const Span*> children_of(const RequestTrace& rt,
+                                     const Span& parent) {
+  std::vector<const Span*> out;
+  for (const auto& sp : rt.spans) {
+    if (&sp == &parent) continue;
+    if ((sp.breadcrumb >> 16) != parent.breadcrumb) continue;
+    if (sp.origin_start < parent.origin_start) continue;
+    if (parent.origin_end != 0 && sp.origin_end > parent.origin_end) continue;
+    out.push_back(&sp);
+  }
+  return out;
+}
+
+}  // namespace
+
+CriticalPath critical_path(const RequestTrace& rt) {
+  CriticalPath cp;
+  cp.request_id = rt.request_id;
+  if (rt.spans.empty()) return cp;
+
+  // Root: the earliest-starting span with the shallowest breadcrumb.
+  const Span* root = &rt.spans.front();
+  for (const auto& sp : rt.spans) {
+    if (depth(sp.breadcrumb) < depth(root->breadcrumb) ||
+        (depth(sp.breadcrumb) == depth(root->breadcrumb) &&
+         sp.origin_start < root->origin_start)) {
+      root = &sp;
+    }
+  }
+  cp.total_ns = root->duration();
+
+  // Walk down: at each level pick the child that ends last (it gates the
+  // parent's completion), attributing the rest of the parent's time to the
+  // parent itself.
+  const Span* cur = root;
+  while (cur != nullptr) {
+    const auto kids = children_of(rt, *cur);
+    const Span* gating = nullptr;
+    sim::DurationNs covered = 0;
+    for (const Span* k : kids) {
+      covered += k->duration();
+      if (gating == nullptr || k->origin_end > gating->origin_end) {
+        gating = k;
+      }
+    }
+    CriticalPathStep step;
+    step.breadcrumb = cur->breadcrumb;
+    step.start = cur->origin_start;
+    step.end = cur->origin_end;
+    const auto dur = cur->duration();
+    step.self_ns = covered < dur ? dur - covered : 0;
+    cp.steps.push_back(step);
+    cur = gating;
+  }
+  return cp;
+}
+
+const CriticalPathStep* CriticalPath::dominant() const {
+  const CriticalPathStep* best = nullptr;
+  for (const auto& step : steps) {
+    if (best == nullptr || step.self_ns > best->self_ns) best = &step;
+  }
+  return best;
+}
+
+std::string CriticalPath::format() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "critical path of request %llx (%.2f us total):\n",
+                static_cast<unsigned long long>(request_id),
+                static_cast<double>(total_ns) / 1e3);
+  out += line;
+  const auto& reg = NameRegistry::global();
+  for (const auto& step : steps) {
+    std::snprintf(line, sizeof(line), "  %-50s self %10.2f us\n",
+                  reg.format(step.breadcrumb).c_str(),
+                  static_cast<double>(step.self_ns) / 1e3);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Empirical anomalies
+// ---------------------------------------------------------------------------
+
+namespace {
+
+double median_of(std::vector<double>& values) {
+  if (values.empty()) return 0;
+  const auto mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<long>(mid),
+                   values.end());
+  double m = values[mid];
+  if (values.size() % 2 == 0) {
+    const auto lower =
+        *std::max_element(values.begin(), values.begin() + static_cast<long>(mid));
+    m = (m + lower) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace
+
+AnomalyReport detect_anomalies(const TraceSummary& summary, double threshold,
+                               std::size_t min_samples) {
+  AnomalyReport report;
+
+  // Collect durations per callpath.
+  std::unordered_map<Breadcrumb, std::vector<std::pair<std::uint64_t, double>>>
+      per_path;
+  for (const auto& rt : summary.requests) {
+    for (const auto& sp : rt.spans) {
+      per_path[sp.breadcrumb].emplace_back(
+          rt.request_id, static_cast<double>(sp.duration()));
+    }
+  }
+
+  for (auto& [bc, samples] : per_path) {
+    if (samples.size() < min_samples) continue;
+    std::vector<double> durations;
+    durations.reserve(samples.size());
+    for (const auto& [rid, d] : samples) durations.push_back(d);
+    const double med = median_of(durations);
+    std::vector<double> devs;
+    devs.reserve(durations.size());
+    for (const double d : durations) devs.push_back(std::abs(d - med));
+    double mad = median_of(devs);
+    // Degenerate distributions (near-constant latency): fall back to a
+    // small fraction of the median so division stays meaningful.
+    if (mad < med * 0.01) mad = med * 0.01 + 1.0;
+
+    CallpathLatencyStats stats;
+    stats.breadcrumb = bc;
+    stats.samples = samples.size();
+    stats.median_ns = med;
+    stats.mad_ns = mad;
+    stats.max_ns = *std::max_element(durations.begin(), durations.end());
+    report.per_callpath.push_back(stats);
+
+    for (const auto& [rid, d] : samples) {
+      const double deviation = std::abs(d - med) / mad;
+      if (deviation > threshold) {
+        report.anomalies.push_back(SpanAnomaly{
+            rid, bc, static_cast<sim::DurationNs>(d), deviation});
+      }
+    }
+  }
+  std::sort(report.anomalies.begin(), report.anomalies.end(),
+            [](const SpanAnomaly& a, const SpanAnomaly& b) {
+              return a.deviation > b.deviation;
+            });
+  std::sort(report.per_callpath.begin(), report.per_callpath.end(),
+            [](const CallpathLatencyStats& a, const CallpathLatencyStats& b) {
+              return a.breadcrumb < b.breadcrumb;
+            });
+  return report;
+}
+
+std::string AnomalyReport::format(std::size_t top_n) const {
+  std::string out = "=== SYMBIOSYS anomaly report ===\n";
+  char line[256];
+  const auto& reg = NameRegistry::global();
+  for (const auto& s : per_callpath) {
+    std::snprintf(line, sizeof(line),
+                  "%-50s n=%6zu median %10.2f us  mad %8.2f us  max %10.2f "
+                  "us\n",
+                  reg.format(s.breadcrumb).c_str(), s.samples,
+                  s.median_ns / 1e3, s.mad_ns / 1e3, s.max_ns / 1e3);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "anomalous spans: %zu\n",
+                anomalies.size());
+  out += line;
+  for (std::size_t i = 0; i < std::min(top_n, anomalies.size()); ++i) {
+    const auto& a = anomalies[i];
+    std::snprintf(line, sizeof(line),
+                  "  request %llx %-40s %10.2f us (%.1f MADs)\n",
+                  static_cast<unsigned long long>(a.request_id),
+                  reg.format(a.breadcrumb).c_str(),
+                  static_cast<double>(a.duration_ns) / 1e3, a.deviation);
+    out += line;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Structural anomalies
+// ---------------------------------------------------------------------------
+
+StructuralDiff structural_diff(const TraceSummary& summary,
+                               std::uint16_t root_leaf) {
+  StructuralDiff diff;
+  std::map<std::vector<std::pair<Breadcrumb, std::uint32_t>>,
+           std::vector<std::uint64_t>>
+      groups;
+  for (const auto& rt : summary.requests) {
+    if (rt.spans.empty()) continue;
+    if (root_leaf != 0) {
+      const auto& root = rt.spans.front();
+      if (depth(root.breadcrumb) != 1 ||
+          leaf_of(root.breadcrumb) != root_leaf) {
+        continue;
+      }
+    }
+    std::map<Breadcrumb, std::uint32_t> counts;
+    for (const auto& sp : rt.spans) ++counts[sp.breadcrumb];
+    std::vector<std::pair<Breadcrumb, std::uint32_t>> sig(counts.begin(),
+                                                          counts.end());
+    groups[std::move(sig)].push_back(rt.request_id);
+  }
+  for (auto& [sig, rids] : groups) {
+    StructureGroup g;
+    g.signature = sig;
+    g.request_ids = std::move(rids);
+    diff.groups.push_back(std::move(g));
+  }
+  std::sort(diff.groups.begin(), diff.groups.end(),
+            [](const StructureGroup& a, const StructureGroup& b) {
+              return a.size() > b.size();
+            });
+  return diff;
+}
+
+std::vector<std::uint64_t> StructuralDiff::minority_requests() const {
+  std::vector<std::uint64_t> out;
+  for (std::size_t i = 1; i < groups.size(); ++i) {
+    out.insert(out.end(), groups[i].request_ids.begin(),
+               groups[i].request_ids.end());
+  }
+  return out;
+}
+
+std::string StructuralDiff::format() const {
+  std::string out = "=== SYMBIOSYS structural diff ===\n";
+  char line[256];
+  const auto& reg = NameRegistry::global();
+  for (std::size_t i = 0; i < groups.size(); ++i) {
+    std::snprintf(line, sizeof(line), "group %zu: %zu requests, %zu distinct "
+                  "callpaths%s\n",
+                  i, groups[i].size(), groups[i].signature.size(),
+                  i == 0 ? " (majority)" : "");
+    out += line;
+    for (const auto& [bc, count] : groups[i].signature) {
+      std::snprintf(line, sizeof(line), "    %ux %s\n", count,
+                    reg.format(bc).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace sym::prof

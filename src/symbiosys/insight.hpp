@@ -1,0 +1,118 @@
+// symbiosys/insight.hpp
+//
+// Higher-level diagnosis passes built on the stitched traces, following the
+// analysis activities the paper's related work motivates (§II-B: distributed
+// request tracing is "effective in detecting structural and empirical
+// anomalies"):
+//
+//  * CriticalPath  — for one request, the chain of child spans that
+//    determines its end-to-end latency, with self-time attribution (which
+//    single call should be optimized first?).
+//  * AnomalyReport — empirical anomaly detection: per-callpath robust
+//    statistics (median / MAD) over span durations, flagging requests whose
+//    spans deviate by more than a configurable factor.
+//  * StructuralDiff — structural anomaly detection: groups requests by the
+//    multiset of callpaths they execute and reports minority structures
+//    (requests that took a different path through the service).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "symbiosys/analysis.hpp"
+
+namespace sym::prof {
+
+// ---------------------------------------------------------------------------
+// Critical path
+// ---------------------------------------------------------------------------
+
+struct CriticalPathStep {
+  Breadcrumb breadcrumb = 0;
+  sim::TimeNs start = 0;
+  sim::TimeNs end = 0;
+  /// Time attributable to this span alone (duration minus the covered
+  /// child-on-critical-path time).
+  sim::DurationNs self_ns = 0;
+};
+
+struct CriticalPath {
+  std::uint64_t request_id = 0;
+  sim::DurationNs total_ns = 0;
+  std::vector<CriticalPathStep> steps;  ///< root first
+
+  /// The step with the largest self time (the optimization target).
+  [[nodiscard]] const CriticalPathStep* dominant() const;
+
+  [[nodiscard]] std::string format() const;
+};
+
+/// Extract the critical path of one stitched request: starting from the
+/// root span, repeatedly descend into the child span that covers the
+/// latest-ending portion of the parent's interval.
+[[nodiscard]] CriticalPath critical_path(const RequestTrace& rt);
+
+// ---------------------------------------------------------------------------
+// Empirical anomalies
+// ---------------------------------------------------------------------------
+
+struct SpanAnomaly {
+  std::uint64_t request_id = 0;
+  Breadcrumb breadcrumb = 0;
+  sim::DurationNs duration_ns = 0;
+  double deviation = 0;  ///< |x - median| / MAD
+};
+
+struct CallpathLatencyStats {
+  Breadcrumb breadcrumb = 0;
+  std::size_t samples = 0;
+  double median_ns = 0;
+  double mad_ns = 0;  ///< median absolute deviation
+  double max_ns = 0;
+};
+
+struct AnomalyReport {
+  std::vector<CallpathLatencyStats> per_callpath;
+  std::vector<SpanAnomaly> anomalies;  ///< sorted by deviation, descending
+
+  [[nodiscard]] std::string format(std::size_t top_n = 10) const;
+};
+
+/// Detect spans whose duration deviates from their callpath's median by
+/// more than `threshold` MADs (callpaths with fewer than `min_samples`
+/// spans are skipped).
+[[nodiscard]] AnomalyReport detect_anomalies(const TraceSummary& summary,
+                                             double threshold = 5.0,
+                                             std::size_t min_samples = 8);
+
+// ---------------------------------------------------------------------------
+// Structural anomalies
+// ---------------------------------------------------------------------------
+
+struct StructureGroup {
+  /// Sorted (breadcrumb, count) signature of the request's span multiset.
+  std::vector<std::pair<Breadcrumb, std::uint32_t>> signature;
+  std::vector<std::uint64_t> request_ids;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return request_ids.size();
+  }
+};
+
+struct StructuralDiff {
+  std::vector<StructureGroup> groups;  ///< sorted by size, descending
+
+  /// Requests whose structure differs from the majority group's.
+  [[nodiscard]] std::vector<std::uint64_t> minority_requests() const;
+
+  [[nodiscard]] std::string format() const;
+};
+
+/// Group requests sharing the same root callpath by span-structure
+/// signature. `root_leaf` = hash16 of the root RPC name (0 = all requests).
+[[nodiscard]] StructuralDiff structural_diff(const TraceSummary& summary,
+                                             std::uint16_t root_leaf = 0);
+
+}  // namespace sym::prof

@@ -1,0 +1,100 @@
+#include "symbiosys/records.hpp"
+
+#include "symbiosys/breadcrumb.hpp"
+
+namespace sym::prof {
+
+// ---------------------------------------------------------------------------
+// breadcrumb.hpp implementation
+// ---------------------------------------------------------------------------
+
+std::vector<std::uint16_t> components(Breadcrumb bc) {
+  std::vector<std::uint16_t> out;
+  if (bc == 0) return out;
+  // Walk from the most significant non-zero 16-bit group down to the leaf.
+  bool started = false;
+  for (int shift = 48; shift >= 0; shift -= 16) {
+    const auto part = static_cast<std::uint16_t>((bc >> shift) & 0xFFFF);
+    if (!started && part == 0) continue;
+    started = true;
+    out.push_back(part);
+  }
+  return out;
+}
+
+int depth(Breadcrumb bc) noexcept {
+  int d = 0;
+  while (bc != 0) {
+    ++d;
+    bc >>= 16;
+  }
+  return d;
+}
+
+void NameRegistry::register_name(std::string_view name) {
+  names_.emplace(hash16(name), std::string(name));
+}
+
+std::string NameRegistry::lookup(std::uint16_t h) const {
+  auto it = names_.find(h);
+  if (it != names_.end()) return it->second;
+  return "<0x" + std::to_string(h) + ">";
+}
+
+std::string NameRegistry::format(Breadcrumb bc) const {
+  const auto parts = components(bc);
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += " => ";
+    out += lookup(parts[i]);
+  }
+  return out.empty() ? "<root>" : out;
+}
+
+NameRegistry& NameRegistry::global() {
+  static NameRegistry reg;
+  return reg;
+}
+
+// ---------------------------------------------------------------------------
+// enum names
+// ---------------------------------------------------------------------------
+
+const char* to_string(Level l) noexcept {
+  switch (l) {
+    case Level::kOff: return "Baseline";
+    case Level::kStage1: return "Stage 1";
+    case Level::kStage2: return "Stage 2";
+    case Level::kFull: return "Full Support";
+  }
+  return "?";
+}
+
+const char* to_string(Interval iv) noexcept {
+  switch (iv) {
+    case Interval::kOriginExec: return "origin_execution_time";
+    case Interval::kInputSer: return "input_serialization_time";
+    case Interval::kInternalRdma: return "target_internal_rdma_transfer_time";
+    case Interval::kHandlerWait: return "target_ult_handler_time";
+    case Interval::kInputDeser: return "input_deserialization_time";
+    case Interval::kTargetExec: return "target_ult_execution_time";
+    case Interval::kOutputSer: return "output_serialization_time";
+    case Interval::kTargetCallback: return "target_completion_callback_time";
+    case Interval::kOriginCallback: return "origin_completion_callback_time";
+    case Interval::kOutputDeser: return "output_deserialization_time";
+    case Interval::kCount: break;
+  }
+  return "?";
+}
+
+const char* to_string(TraceEventKind k) noexcept {
+  switch (k) {
+    case TraceEventKind::kOriginStart: return "origin_start";
+    case TraceEventKind::kOriginEnd: return "origin_end";
+    case TraceEventKind::kTargetStart: return "target_start";
+    case TraceEventKind::kTargetEnd: return "target_end";
+  }
+  return "?";
+}
+
+}  // namespace sym::prof

@@ -1,0 +1,209 @@
+// symbiosys/records.hpp
+//
+// Measurement records: callpath profiles (per-interval statistics keyed by
+// breadcrumb + origin/target entity) and distributed trace events. These are
+// the in-memory equivalents of the per-process profile/trace files that the
+// paper's analysis scripts ingest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simkit/time.hpp"
+#include "symbiosys/breadcrumb.hpp"
+
+namespace sym::prof {
+
+/// Instrumentation levels, matching the overhead-study stages (§VI-B):
+///  kOff    — Baseline: instrumentation and measurement disabled.
+///  kStage1 — metadata (breadcrumb / trace id) propagation only.
+///  kStage2 — callpath profiling, tracing and system-statistic sampling,
+///            but no Mercury PVAR collection.
+///  kFull   — everything, PVARs integrated on the fly.
+enum class Level : std::uint8_t { kOff, kStage1, kStage2, kFull };
+
+[[nodiscard]] const char* to_string(Level l) noexcept;
+
+/// Which end of the RPC recorded a measurement.
+enum class Side : std::uint8_t { kOrigin, kTarget };
+
+/// The intervals of the RPC execution model (paper Table III), plus the
+/// origin-side response deserialization for completeness.
+enum class Interval : std::uint8_t {
+  kOriginExec,      ///< t1  -> t14  (ULT-local key)
+  kInputSer,        ///< t2  -> t3   (Mercury PVAR)
+  kInternalRdma,    ///< t3  -> t4   (Mercury PVAR)
+  kHandlerWait,     ///< t4  -> t5   (ULT-local key: "target ULT handler time")
+  kInputDeser,      ///< t6  -> t7   (Mercury PVAR)
+  kTargetExec,      ///< t5  -> t8   (ULT-local key, exclusive)
+  kOutputSer,       ///< t9  -> t10  (Mercury PVAR)
+  kTargetCallback,  ///< t8  -> t13  (ULT-local key)
+  kOriginCallback,  ///< t12 -> t14  (Mercury PVAR)
+  kOutputDeser,     ///< origin-side response deserialization
+  kCount,
+};
+
+[[nodiscard]] const char* to_string(Interval iv) noexcept;
+
+/// Count / sum / min / max accumulator (nanosecond values).
+struct IntervalStats {
+  std::uint64_t count = 0;
+  double sum_ns = 0;
+  double min_ns = 0;
+  double max_ns = 0;
+
+  void add(double ns) noexcept {
+    if (count == 0 || ns < min_ns) min_ns = ns;
+    if (count == 0 || ns > max_ns) max_ns = ns;
+    ++count;
+    sum_ns += ns;
+  }
+  [[nodiscard]] double mean_ns() const noexcept {
+    return count == 0 ? 0.0 : sum_ns / static_cast<double>(count);
+  }
+  void merge(const IntervalStats& o) noexcept {
+    if (o.count == 0) return;
+    if (count == 0 || o.min_ns < min_ns) min_ns = o.min_ns;
+    if (count == 0 || o.max_ns > max_ns) max_ns = o.max_ns;
+    count += o.count;
+    sum_ns += o.sum_ns;
+  }
+};
+
+/// Identifies one (callpath, side, self entity, peer entity) combination.
+struct CallpathKey {
+  Breadcrumb breadcrumb = 0;
+  Side side = Side::kOrigin;
+  std::uint32_t self_ep = 0;  ///< endpoint address of the recording entity
+  std::uint32_t peer_ep = 0;  ///< endpoint address of the other end
+
+  bool operator==(const CallpathKey&) const = default;
+};
+
+struct CallpathKeyHash {
+  std::size_t operator()(const CallpathKey& k) const noexcept {
+    std::uint64_t h = k.breadcrumb * 0x9E3779B97F4A7C15ULL;
+    h ^= (static_cast<std::uint64_t>(k.self_ep) << 33) ^
+         (static_cast<std::uint64_t>(k.peer_ep) << 1) ^
+         static_cast<std::uint64_t>(k.side);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    return static_cast<std::size_t>(h ^ (h >> 29));
+  }
+};
+
+/// Per-callpath, per-interval statistics for one entity pair.
+struct CallpathStats {
+  IntervalStats intervals[static_cast<int>(Interval::kCount)];
+
+  IntervalStats& at(Interval iv) noexcept {
+    return intervals[static_cast<int>(iv)];
+  }
+  [[nodiscard]] const IntervalStats& at(Interval iv) const noexcept {
+    return intervals[static_cast<int>(iv)];
+  }
+};
+
+/// The per-process callpath profile (one per margolite instance).
+class ProfileStore {
+ public:
+  void record(const CallpathKey& key, Interval iv, double ns) {
+    data_[key].at(iv).add(ns);
+  }
+
+  /// Merge pre-aggregated statistics (used by the CSV importer and by
+  /// cross-process consolidation).
+  void merge_entry(const CallpathKey& key, Interval iv,
+                   const IntervalStats& stats) {
+    data_[key].at(iv).merge(stats);
+  }
+
+  [[nodiscard]] const std::unordered_map<CallpathKey, CallpathStats,
+                                         CallpathKeyHash>&
+  entries() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  void clear() { data_.clear(); }
+
+ private:
+  std::unordered_map<CallpathKey, CallpathStats, CallpathKeyHash> data_;
+};
+
+/// Trace event kinds: t1/t14 on the origin, t5/t8 on the target (§IV-A2).
+enum class TraceEventKind : std::uint8_t {
+  kOriginStart,  ///< t1
+  kOriginEnd,    ///< t14
+  kTargetStart,  ///< t5
+  kTargetEnd,    ///< t8
+};
+
+[[nodiscard]] const char* to_string(TraceEventKind k) noexcept;
+
+/// One trace record. Every event carries the request metadata plus sampled
+/// performance data from the RPC library (PVARs), the tasking layer
+/// (blocked/runnable ULTs), and the OS (memory, CPU).
+struct TraceEvent {
+  std::uint64_t request_id = 0;
+  std::uint32_t order = 0;
+  TraceEventKind kind{};
+  Breadcrumb breadcrumb = 0;
+  std::uint32_t self_ep = 0;
+  std::uint32_t peer_ep = 0;
+  sim::TimeNs local_ts = 0;  ///< node-local wall clock (skewed!)
+  std::uint64_t lamport = 0;
+
+  // Sampled metrics (Stage 2).
+  std::uint32_t blocked_ults = 0;
+  std::uint32_t runnable_ults = 0;
+  std::uint64_t rss_bytes = 0;
+  float cpu_util = 0;
+
+  // Sampled PVARs (Full only).
+  float completion_queue_size = 0;
+  float num_ofi_events_read = 0;
+  float num_posted_handles = 0;
+};
+
+/// The per-process trace buffer.
+class TraceStore {
+ public:
+  void append(const TraceEvent& ev) { events_.push_back(ev); }
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+/// Periodic system-statistics sample (one row per sampling tick): OS-level
+/// and tasking-level gauges decoupled from any particular request.
+struct SysStat {
+  sim::TimeNs local_ts = 0;
+  std::uint64_t rss_bytes = 0;
+  float cpu_util = 0;
+  std::uint32_t blocked_ults = 0;
+  std::uint32_t runnable_ults = 0;
+  float completion_queue_size = 0;
+  float num_posted_handles = 0;
+};
+
+/// Per-process system-statistics buffer, filled by margolite's sampler ULT.
+class SysStatStore {
+ public:
+  void append(const SysStat& s) { samples_.push_back(s); }
+  [[nodiscard]] const std::vector<SysStat>& samples() const noexcept {
+    return samples_;
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<SysStat> samples_;
+};
+
+}  // namespace sym::prof

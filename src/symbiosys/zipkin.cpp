@@ -1,0 +1,90 @@
+#include "symbiosys/zipkin.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "symbiosys/breadcrumb.hpp"
+
+namespace sym::prof {
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::uint64_t span_id(const Span& sp) {
+  // Deterministic span id from (breadcrumb, base_order).
+  std::uint64_t h = sp.breadcrumb * 0x9E3779B97F4A7C15ULL;
+  h ^= sp.base_order + 0x100001B3ULL;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  return h == 0 ? 1 : h;
+}
+
+/// Find the enclosing parent span: same request, breadcrumb equal to this
+/// span's ancestry with the leaf removed, and a time interval containing
+/// this span's start. Among candidates, the latest-starting one wins.
+const Span* find_parent(const RequestTrace& rt, const Span& child) {
+  const Breadcrumb parent_bc = child.breadcrumb >> 16;
+  if (parent_bc == 0) return nullptr;
+  const Span* best = nullptr;
+  for (const auto& sp : rt.spans) {
+    if (sp.breadcrumb != parent_bc) continue;
+    if (sp.origin_start > child.origin_start) continue;
+    if (sp.origin_end != 0 && sp.origin_end < child.origin_start) continue;
+    if (best == nullptr || sp.origin_start > best->origin_start) best = &sp;
+  }
+  return best;
+}
+
+void append_span_json(std::string& out, const RequestTrace& rt,
+                      const Span& sp, bool& first) {
+  if (!first) out += ",\n";
+  first = false;
+  const auto& reg = NameRegistry::global();
+  const std::string name = reg.lookup(leaf_of(sp.breadcrumb));
+  const Span* parent = find_parent(rt, sp);
+
+  char buf[512];
+  // Zipkin v2 timestamps/durations are in microseconds.
+  const double ts_us = static_cast<double>(sp.origin_start) / 1e3;
+  const double dur_us = static_cast<double>(sp.duration()) / 1e3;
+  std::snprintf(buf, sizeof(buf),
+                "  {\"traceId\": \"%s\", \"id\": \"%s\",%s%s%s \"name\": "
+                "\"%s\", \"timestamp\": %.0f, \"duration\": %.0f, "
+                "\"kind\": \"CLIENT\", \"localEndpoint\": {\"serviceName\": "
+                "\"ep-%u\"}, \"remoteEndpoint\": {\"serviceName\": "
+                "\"ep-%u\"}, \"tags\": {\"breadcrumb\": \"%s\", "
+                "\"blocked_ults\": \"%u\", \"ofi_events_read\": \"%.0f\"}}",
+                hex64(sp.request_id).c_str(), hex64(span_id(sp)).c_str(),
+                parent != nullptr ? " \"parentId\": \"" : "",
+                parent != nullptr ? hex64(span_id(*parent)).c_str() : "",
+                parent != nullptr ? "\"," : "", name.c_str(), ts_us, dur_us,
+                sp.origin_ep, sp.target_ep,
+                hex64(sp.breadcrumb).c_str(), sp.target_blocked_ults,
+                static_cast<double>(sp.origin_ofi_events_read));
+  out += buf;
+}
+
+}  // namespace
+
+std::string to_zipkin_json(const RequestTrace& rt) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const auto& sp : rt.spans) append_span_json(out, rt, sp, first);
+  out += "\n]\n";
+  return out;
+}
+
+std::string to_zipkin_json(const TraceSummary& summary) {
+  std::string out = "[\n";
+  bool first = true;
+  for (const auto& rt : summary.requests) {
+    for (const auto& sp : rt.spans) append_span_json(out, rt, sp, first);
+  }
+  out += "\n]\n";
+  return out;
+}
+
+}  // namespace sym::prof

@@ -1,0 +1,21 @@
+// symbiosys/zipkin.hpp
+//
+// Export stitched request traces as Zipkin v2 JSON, compatible with the
+// OpenZipkin / Jaeger UI — the paper's Fig. 5 visualization path ("an
+// adapter module that stitches the events with a common requestID from
+// different processes into a Zipkin JSON trace file").
+#pragma once
+
+#include <string>
+
+#include "symbiosys/analysis.hpp"
+
+namespace sym::prof {
+
+/// Render one stitched request as a Zipkin v2 JSON span array.
+[[nodiscard]] std::string to_zipkin_json(const RequestTrace& rt);
+
+/// Render every request in the summary as one JSON array.
+[[nodiscard]] std::string to_zipkin_json(const TraceSummary& summary);
+
+}  // namespace sym::prof

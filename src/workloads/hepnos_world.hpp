@@ -1,0 +1,98 @@
+// workloads/hepnos_world.hpp
+//
+// Deployment harness for the HEPnOS experiments: builds the simulated
+// cluster (server and client nodes per Table IV's per-node counts), wires
+// margolite instances, HEPnOS providers and client DataStores, runs the
+// data-loader step on every client, and exposes the collected measurement
+// stores for analysis. Reused by the Fig. 9-13 benches, the examples and
+// the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "services/hepnos/hepnos.hpp"
+#include "services/ssg/ssg.hpp"
+#include "simkit/cluster.hpp"
+#include "sofi/fabric.hpp"
+#include "workloads/table4.hpp"
+
+namespace sym::workloads {
+
+class HepnosWorld {
+ public:
+  struct Params {
+    HepnosConfig config;
+    prof::Level instr = prof::Level::kFull;
+    sdskv::BackendType backend = sdskv::BackendType::kMap;
+    hepnos::EventFileModel file_model{};
+    std::uint32_t files_per_client = 1;
+    /// Client start times are staggered uniformly over this window.
+    sim::DurationNs start_spread = sim::usec(500);
+    std::uint64_t seed = 42;
+  };
+
+  explicit HepnosWorld(Params params);
+  ~HepnosWorld();
+  HepnosWorld(const HepnosWorld&) = delete;
+  HepnosWorld& operator=(const HepnosWorld&) = delete;
+
+  /// Run every client's data-loader to completion and shut down.
+  void run();
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return servers_.size();
+  }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] margo::Instance& server_instance(std::size_t i) {
+    return *servers_.at(i);
+  }
+  [[nodiscard]] margo::Instance& client_instance(std::size_t i) {
+    return *clients_.at(i);
+  }
+  [[nodiscard]] hepnos::Server& hepnos_server(std::size_t i) {
+    return *hepnos_servers_.at(i);
+  }
+
+  [[nodiscard]] const std::vector<hepnos::DataLoaderStats>& loader_stats()
+      const noexcept {
+    return stats_;
+  }
+
+  /// Longest per-client data-loader time (the reported execution time).
+  [[nodiscard]] sim::DurationNs makespan() const noexcept;
+
+  /// Events stored across all providers (consistency check).
+  [[nodiscard]] std::uint64_t events_stored() const noexcept;
+
+  [[nodiscard]] std::vector<const prof::ProfileStore*> all_profiles() const;
+  [[nodiscard]] std::vector<const prof::TraceStore*> all_traces() const;
+  [[nodiscard]] std::vector<const prof::TraceStore*> server_traces() const;
+  [[nodiscard]] std::vector<const prof::TraceStore*> client_traces() const;
+  [[nodiscard]] std::vector<std::pair<std::string, const prof::SysStatStore*>>
+  all_sysstats() const;
+
+ private:
+  Params params_;
+  sim::Engine eng_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<ofi::Fabric> fabric_;
+  std::vector<std::unique_ptr<margo::Instance>> servers_;
+  std::vector<std::unique_ptr<margo::Instance>> clients_;
+  std::vector<std::unique_ptr<hepnos::Server>> hepnos_servers_;
+  std::vector<std::unique_ptr<ssg::Member>> group_members_;
+  std::vector<std::unique_ptr<ssg::Observer>> observers_;
+  std::vector<std::unique_ptr<hepnos::DataStore>> stores_;
+  std::uint32_t dbs_per_server_ = 1;
+  std::vector<hepnos::DataLoaderStats> stats_;
+  bool ran_ = false;
+};
+
+}  // namespace sym::workloads

@@ -1,0 +1,80 @@
+#include "workloads/mobject_world.hpp"
+
+namespace sym::workloads {
+
+MobjectWorld::MobjectWorld(Params params)
+    : params_(std::move(params)), eng_(params_.seed) {
+  // Everything colocated on one physical node, as in the paper's setup.
+  sim::ClusterParams cp;
+  cp.node_count = 1;
+  cluster_ = std::make_unique<sim::Cluster>(eng_, cp);
+  fabric_ = std::make_unique<ofi::Fabric>(*cluster_);
+
+  auto& sproc = cluster_->spawn_process(0, "mobject-provider");
+  margo::InstanceConfig sc;
+  sc.server = true;
+  sc.handler_es = 8;
+  sc.instr = params_.instr;
+  server_ = std::make_unique<margo::Instance>(*fabric_, sproc, sc);
+  mobject_ = std::make_unique<mobject::Server>(*server_);
+
+  for (std::uint32_t c = 0; c < params_.ior.clients; ++c) {
+    auto& cproc = cluster_->spawn_process(0, "ior-" + std::to_string(c));
+    margo::InstanceConfig cc;
+    cc.instr = params_.instr;
+    clients_.push_back(std::make_unique<margo::Instance>(*fabric_, cproc, cc));
+    mclients_.push_back(std::make_unique<mobject::Client>(*clients_.back()));
+  }
+}
+
+MobjectWorld::~MobjectWorld() = default;
+
+void MobjectWorld::run() {
+  ran_ = true;
+  server_->start();
+  for (auto& c : clients_) c->start();
+
+  auto remaining = std::make_shared<std::size_t>(clients_.size());
+  for (std::size_t i = 0; i < clients_.size(); ++i) {
+    margo::Instance& mid = *clients_[i];
+    mobject::Client& mc = *mclients_[i];
+    mid.spawn([this, i, remaining, &mid, &mc] {
+      const auto& ior = params_.ior;
+      const auto target = server_->addr();
+      const auto provider = mobject_->config().mobject_provider;
+      std::vector<std::string> written;
+      for (std::uint32_t op = 0; op < ior.ops_per_client; ++op) {
+        const bool do_read =
+            !written.empty() && eng_.rng().uniform01() < ior.read_fraction;
+        if (do_read) {
+          const auto& name =
+              written[eng_.rng().uniform(written.size())];
+          (void)mc.read_op(target, provider, name);
+        } else {
+          std::string name = "ior-obj-" + std::to_string(i) + "-" +
+                             std::to_string(written.size());
+          mc.write_op(target, provider, name,
+                      std::vector<std::byte>(ior.object_bytes));
+          written.push_back(std::move(name));
+        }
+      }
+      mid.finalize();
+      if (--*remaining == 0) server_->finalize();
+    });
+  }
+  eng_.run();
+}
+
+std::vector<const prof::ProfileStore*> MobjectWorld::all_profiles() const {
+  std::vector<const prof::ProfileStore*> out{&server_->profile()};
+  for (const auto& c : clients_) out.push_back(&c->profile());
+  return out;
+}
+
+std::vector<const prof::TraceStore*> MobjectWorld::all_traces() const {
+  std::vector<const prof::TraceStore*> out{&server_->trace()};
+  for (const auto& c : clients_) out.push_back(&c->trace());
+  return out;
+}
+
+}  // namespace sym::workloads

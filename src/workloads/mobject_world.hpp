@@ -1,0 +1,70 @@
+// workloads/mobject_world.hpp
+//
+// Deployment harness for the ior+Mobject case study (paper §V-A): one
+// Mobject provider node plus N ior-style clients colocated on the same
+// physical node, issuing a mix of object writes and reads. Produces the
+// per-process profile/trace stores behind Fig. 5 and Fig. 6.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "services/mobject/mobject.hpp"
+#include "simkit/cluster.hpp"
+#include "sofi/fabric.hpp"
+
+namespace sym::workloads {
+
+/// ior-like workload: each client performs `ops_per_client` object
+/// operations of `object_bytes` each; a `read_fraction` of them are reads
+/// of previously written objects.
+struct IorConfig {
+  std::uint32_t clients = 10;
+  std::uint32_t ops_per_client = 8;
+  std::uint32_t object_bytes = 64 * 1024;
+  double read_fraction = 0.5;
+};
+
+class MobjectWorld {
+ public:
+  struct Params {
+    IorConfig ior{};
+    prof::Level instr = prof::Level::kFull;
+    std::uint64_t seed = 42;
+  };
+
+  explicit MobjectWorld(Params params);
+  ~MobjectWorld();
+  MobjectWorld(const MobjectWorld&) = delete;
+  MobjectWorld& operator=(const MobjectWorld&) = delete;
+
+  void run();
+
+  [[nodiscard]] margo::Instance& server_instance() { return *server_; }
+  [[nodiscard]] mobject::Server& mobject_server() { return *mobject_; }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] margo::Instance& client_instance(std::size_t i) {
+    return *clients_.at(i);
+  }
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+
+  [[nodiscard]] std::vector<const prof::ProfileStore*> all_profiles() const;
+  [[nodiscard]] std::vector<const prof::TraceStore*> all_traces() const;
+
+ private:
+  Params params_;
+  sim::Engine eng_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<ofi::Fabric> fabric_;
+  std::unique_ptr<margo::Instance> server_;
+  std::unique_ptr<mobject::Server> mobject_;
+  std::vector<std::unique_ptr<margo::Instance>> clients_;
+  std::vector<std::unique_ptr<mobject::Client>> mclients_;
+  bool ran_ = false;
+};
+
+}  // namespace sym::workloads

@@ -1,0 +1,105 @@
+#include "workloads/table4.hpp"
+
+#include <cstdio>
+
+namespace sym::workloads {
+
+HepnosConfig table4_c1() {
+  return HepnosConfig{.name = "C1",
+                      .total_clients = 32,
+                      .clients_per_node = 16,
+                      .total_servers = 4,
+                      .servers_per_node = 2,
+                      .batch_size = 1024,
+                      .threads_es = 5,
+                      .databases = 32,
+                      .client_progress_thread = false,
+                      .ofi_max_events = 16};
+}
+
+HepnosConfig table4_c2() {
+  auto c = table4_c1();
+  c.name = "C2";
+  c.threads_es = 20;
+  return c;
+}
+
+HepnosConfig table4_c3() {
+  auto c = table4_c2();
+  c.name = "C3";
+  c.databases = 8;
+  return c;
+}
+
+HepnosConfig table4_c4() {
+  return HepnosConfig{.name = "C4",
+                      .total_clients = 2,
+                      .clients_per_node = 1,
+                      .total_servers = 4,
+                      .servers_per_node = 2,
+                      .batch_size = 1024,
+                      .threads_es = 16,
+                      .databases = 8,
+                      .client_progress_thread = false,
+                      .ofi_max_events = 16,
+                      .pipeline_ops = 64};
+}
+
+HepnosConfig table4_c5() {
+  auto c = table4_c4();
+  c.name = "C5";
+  c.batch_size = 1;
+  return c;
+}
+
+HepnosConfig table4_c6() {
+  auto c = table4_c5();
+  c.name = "C6";
+  c.ofi_max_events = 64;
+  return c;
+}
+
+HepnosConfig table4_c7() {
+  auto c = table4_c6();
+  c.name = "C7";
+  c.client_progress_thread = true;
+  return c;
+}
+
+std::vector<HepnosConfig> table4_all() {
+  return {table4_c1(), table4_c2(), table4_c3(), table4_c4(),
+          table4_c5(), table4_c6(), table4_c7()};
+}
+
+HepnosConfig overhead_study_config() {
+  return HepnosConfig{.name = "overhead",
+                      .total_clients = 224,
+                      .clients_per_node = 2,
+                      .total_servers = 32,
+                      .servers_per_node = 2,
+                      .batch_size = 8192,
+                      .threads_es = 30,
+                      .databases = 32 * 16,
+                      .client_progress_thread = false,
+                      .ofi_max_events = 16};
+}
+
+std::string format_table4() {
+  std::string out =
+      "Table IV: HEPnOS service configurations\n"
+      "cfg  clients(/node)  servers(/node)  batch  ES  dbs  prog-thread  "
+      "OFI_max_events\n";
+  char line[160];
+  for (const auto& c : table4_all()) {
+    std::snprintf(line, sizeof(line),
+                  "%-4s %7u(%2u)     %6u(%2u)      %5u  %2u  %3u  %-11s  %u\n",
+                  c.name.c_str(), c.total_clients, c.clients_per_node,
+                  c.total_servers, c.servers_per_node, c.batch_size,
+                  c.threads_es, c.databases,
+                  c.client_progress_thread ? "yes" : "no", c.ofi_max_events);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace sym::workloads

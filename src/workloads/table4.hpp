@@ -1,0 +1,51 @@
+// workloads/table4.hpp
+//
+// The HEPnOS service configurations of the paper's Table IV (C1..C7), plus
+// the large-scale overhead-study configuration of §VI. These parameterize
+// the HEPnOS deployment harness; `databases` is the total database count
+// across the whole service (the origin hashes keys over this total).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sym::workloads {
+
+struct HepnosConfig {
+  std::string name;
+  std::uint32_t total_clients = 2;
+  std::uint32_t clients_per_node = 1;
+  std::uint32_t total_servers = 4;
+  std::uint32_t servers_per_node = 2;
+  std::uint32_t batch_size = 1024;
+  std::uint32_t threads_es = 16;   ///< handler execution streams per server
+  std::uint32_t databases = 8;     ///< total databases across the service
+  bool client_progress_thread = false;
+  std::uint32_t ofi_max_events = 16;
+  /// Data-loader client pipelining: number of put_packed operations kept in
+  /// flight before draining (0 = drain after every batch flush). The C4-C7
+  /// client-progress study uses a 64-deep pipeline; C1-C3 flush batches
+  /// synchronously.
+  std::uint32_t pipeline_ops = 0;
+};
+
+/// Table IV rows.
+[[nodiscard]] HepnosConfig table4_c1();
+[[nodiscard]] HepnosConfig table4_c2();
+[[nodiscard]] HepnosConfig table4_c3();
+[[nodiscard]] HepnosConfig table4_c4();
+[[nodiscard]] HepnosConfig table4_c5();
+[[nodiscard]] HepnosConfig table4_c6();
+[[nodiscard]] HepnosConfig table4_c7();
+[[nodiscard]] std::vector<HepnosConfig> table4_all();
+
+/// §VI overhead study: 32 providers over 16 nodes, 224 clients over 112
+/// nodes, 30 ESs, 16 databases per provider, batch 8192, no dedicated
+/// client progress thread. (Scaled down proportionally by the benches.)
+[[nodiscard]] HepnosConfig overhead_study_config();
+
+/// Render Table IV as text.
+[[nodiscard]] std::string format_table4();
+
+}  // namespace sym::workloads

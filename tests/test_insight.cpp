@@ -1,0 +1,282 @@
+// Tests for the insight analyzers (critical path, empirical anomaly
+// detection, structural diff) and the HEPnOS hierarchical object API.
+#include <gtest/gtest.h>
+
+#include "margolite/instance.hpp"
+#include "services/hepnos/hepnos.hpp"
+#include "simkit/cluster.hpp"
+#include "sofi/fabric.hpp"
+#include "symbiosys/insight.hpp"
+#include "workloads/mobject_world.hpp"
+
+namespace sim = sym::sim;
+namespace prof = sym::prof;
+namespace margo = sym::margo;
+namespace hepnos = sym::hepnos;
+namespace ofi = sym::ofi;
+
+// ---------------------------------------------------------------------------
+// Synthetic trace builders
+// ---------------------------------------------------------------------------
+
+namespace {
+
+prof::Span make_span(std::uint64_t rid, prof::Breadcrumb bc,
+                     std::uint32_t order, sim::TimeNs start, sim::TimeNs end) {
+  prof::Span sp;
+  sp.request_id = rid;
+  sp.breadcrumb = bc;
+  sp.base_order = order;
+  sp.origin_start = start;
+  sp.origin_end = end;
+  sp.target_start = start + 1;
+  sp.target_end = end - 1;
+  return sp;
+}
+
+}  // namespace
+
+TEST(CriticalPath, DescendsIntoGatingChild) {
+  prof::NameRegistry::global().register_name("root_op");
+  prof::NameRegistry::global().register_name("fast_child");
+  prof::NameRegistry::global().register_name("slow_child");
+  const auto root_bc = prof::hash16("root_op");
+  const auto fast = prof::extend(root_bc, prof::hash16("fast_child"));
+  const auto slow = prof::extend(root_bc, prof::hash16("slow_child"));
+
+  prof::RequestTrace rt;
+  rt.request_id = 1;
+  rt.spans.push_back(make_span(1, root_bc, 0, 0, 1000));
+  rt.spans.push_back(make_span(1, fast, 4, 100, 200));
+  rt.spans.push_back(make_span(1, slow, 8, 250, 900));  // gates completion
+
+  const auto cp = prof::critical_path(rt);
+  ASSERT_EQ(cp.steps.size(), 2u);
+  EXPECT_EQ(cp.steps[0].breadcrumb, root_bc);
+  EXPECT_EQ(cp.steps[1].breadcrumb, slow);
+  EXPECT_EQ(cp.total_ns, 1000u);
+  // Root self time: 1000 - (100 covered by fast + 650 by slow) = 250.
+  EXPECT_EQ(cp.steps[0].self_ns, 250u);
+  EXPECT_EQ(cp.steps[1].self_ns, 650u);
+  ASSERT_NE(cp.dominant(), nullptr);
+  EXPECT_EQ(cp.dominant()->breadcrumb, slow);
+  EXPECT_NE(cp.format().find("slow_child"), std::string::npos);
+}
+
+TEST(CriticalPath, SingleSpanIsItsOwnPath) {
+  prof::RequestTrace rt;
+  rt.request_id = 2;
+  rt.spans.push_back(make_span(2, prof::hash16("solo"), 0, 10, 110));
+  const auto cp = prof::critical_path(rt);
+  ASSERT_EQ(cp.steps.size(), 1u);
+  EXPECT_EQ(cp.steps[0].self_ns, 100u);
+}
+
+TEST(CriticalPath, EmptyRequestSafe) {
+  prof::RequestTrace rt;
+  const auto cp = prof::critical_path(rt);
+  EXPECT_TRUE(cp.steps.empty());
+  EXPECT_EQ(cp.total_ns, 0u);
+}
+
+TEST(Anomalies, FlagsOutlierSpans) {
+  prof::TraceSummary summary;
+  const auto bc = prof::hash16("steady_rpc");
+  // 30 requests at ~100us, one at 10ms.
+  for (std::uint64_t i = 0; i < 30; ++i) {
+    prof::RequestTrace rt;
+    rt.request_id = i;
+    rt.spans.push_back(
+        make_span(i, bc, 0, 0, 100'000 + (i % 5) * 1000));
+    summary.requests.push_back(std::move(rt));
+  }
+  prof::RequestTrace outlier;
+  outlier.request_id = 999;
+  outlier.spans.push_back(make_span(999, bc, 0, 0, 10'000'000));
+  summary.requests.push_back(std::move(outlier));
+
+  const auto report = prof::detect_anomalies(summary, 5.0, 8);
+  ASSERT_EQ(report.per_callpath.size(), 1u);
+  EXPECT_EQ(report.per_callpath[0].samples, 31u);
+  EXPECT_NEAR(report.per_callpath[0].median_ns, 102'000, 2'000);
+  ASSERT_EQ(report.anomalies.size(), 1u);
+  EXPECT_EQ(report.anomalies[0].request_id, 999u);
+  EXPECT_GT(report.anomalies[0].deviation, 5.0);
+  // request ids render in hex: 999 == 0x3e7
+  EXPECT_NE(report.format().find("3e7"), std::string::npos);
+}
+
+TEST(Anomalies, SkipsSmallSampleCallpaths) {
+  prof::TraceSummary summary;
+  for (std::uint64_t i = 0; i < 3; ++i) {  // below min_samples
+    prof::RequestTrace rt;
+    rt.request_id = i;
+    rt.spans.push_back(make_span(i, prof::hash16("rare"), 0, 0, 100 * (i + 1)));
+    summary.requests.push_back(std::move(rt));
+  }
+  const auto report = prof::detect_anomalies(summary, 2.0, 8);
+  EXPECT_TRUE(report.per_callpath.empty());
+  EXPECT_TRUE(report.anomalies.empty());
+}
+
+TEST(StructuralDiff, SeparatesMinorityStructures) {
+  prof::TraceSummary summary;
+  const auto root = prof::hash16("op");
+  const auto child_a = prof::extend(root, prof::hash16("step_a"));
+  const auto child_b = prof::extend(root, prof::hash16("step_b"));
+  // 10 requests take (a, a); 2 requests take (a, b) — e.g. a retry path.
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    prof::RequestTrace rt;
+    rt.request_id = i;
+    rt.spans.push_back(make_span(i, root, 0, 0, 1000));
+    rt.spans.push_back(make_span(i, child_a, 4, 100, 300));
+    rt.spans.push_back(
+        make_span(i, i < 10 ? child_a : child_b, 8, 400, 600));
+    summary.requests.push_back(std::move(rt));
+  }
+  const auto diff = prof::structural_diff(summary, root);
+  ASSERT_EQ(diff.groups.size(), 2u);
+  EXPECT_EQ(diff.groups[0].size(), 10u);
+  EXPECT_EQ(diff.groups[1].size(), 2u);
+  const auto minority = diff.minority_requests();
+  ASSERT_EQ(minority.size(), 2u);
+  EXPECT_EQ(minority[0], 10u);
+  EXPECT_EQ(minority[1], 11u);
+  EXPECT_NE(diff.format().find("majority"), std::string::npos);
+}
+
+TEST(StructuralDiff, RootFilterExcludesOtherOps) {
+  prof::TraceSummary summary;
+  prof::RequestTrace rt1;
+  rt1.request_id = 1;
+  rt1.spans.push_back(make_span(1, prof::hash16("op_x"), 0, 0, 100));
+  summary.requests.push_back(std::move(rt1));
+  prof::RequestTrace rt2;
+  rt2.request_id = 2;
+  rt2.spans.push_back(make_span(2, prof::hash16("op_y"), 0, 0, 100));
+  summary.requests.push_back(std::move(rt2));
+  const auto diff = prof::structural_diff(summary, prof::hash16("op_x"));
+  ASSERT_EQ(diff.groups.size(), 1u);
+  EXPECT_EQ(diff.groups[0].request_ids[0], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Insight analyzers over a real stitched workload
+// ---------------------------------------------------------------------------
+
+TEST(Insight, CriticalPathOfRealMobjectWrite) {
+  sym::workloads::MobjectWorld::Params p;
+  p.ior.clients = 2;
+  p.ior.ops_per_client = 2;
+  p.ior.read_fraction = 0.0;
+  sym::workloads::MobjectWorld world(p);
+  world.run();
+  const auto summary = prof::TraceSummary::build(world.all_traces());
+  ASSERT_FALSE(summary.requests.empty());
+  const auto cp = prof::critical_path(summary.requests.front());
+  // Root + one gating child at least.
+  EXPECT_GE(cp.steps.size(), 2u);
+  EXPECT_GT(cp.total_ns, 0u);
+  // Self times can never exceed the total.
+  for (const auto& step : cp.steps) EXPECT_LE(step.self_ns, cp.total_ns);
+}
+
+// ---------------------------------------------------------------------------
+// HEPnOS hierarchical object API
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct HepnosApiWorld {
+  HepnosApiWorld()
+      : eng(77),
+        cluster(eng, sim::ClusterParams{.node_count = 2}),
+        fabric(cluster),
+        server_mid(fabric, cluster.spawn_process(0, "srv"),
+                   margo::InstanceConfig{.server = true, .handler_es = 2}),
+        srv(server_mid, hepnos::ServerConfig{.databases = 4}),
+        client_mid(fabric, cluster.spawn_process(1, "cli"),
+                   margo::InstanceConfig{}),
+        store(client_mid, {server_mid.addr()}, 1, 4) {}
+
+  void run_client(std::function<void()> body) {
+    server_mid.start();
+    client_mid.start();
+    client_mid.spawn([this, body = std::move(body)] {
+      body();
+      client_mid.finalize();
+      server_mid.finalize();
+    });
+    eng.run();
+  }
+
+  sim::Engine eng;
+  sim::Cluster cluster;
+  ofi::Fabric fabric;
+  margo::Instance server_mid;
+  hepnos::Server srv;
+  margo::Instance client_mid;
+  hepnos::DataStore store;
+};
+
+}  // namespace
+
+TEST(HepnosApi, HierarchyCreationAndProducts) {
+  HepnosApiWorld w;
+  w.run_client([&] {
+    hepnos::DataSet ds(w.store, "NOvA");
+    auto run = ds.create_run(42);
+    EXPECT_TRUE(ds.has_run(42));
+    EXPECT_FALSE(ds.has_run(43));
+
+    auto subrun = run.create_subrun(3);
+    auto event = subrun.create_event(1001);
+    EXPECT_EQ(event.id().run, 42u);
+    EXPECT_EQ(event.id().subrun, 3u);
+    EXPECT_EQ(event.id().event, 1001u);
+
+    event.store_product("hits", std::string(256, 'h'));
+    event.store_product("tracks", std::string(64, 't'));
+
+    std::string data;
+    EXPECT_TRUE(event.load_product("hits", &data));
+    EXPECT_EQ(data.size(), 256u);
+    EXPECT_FALSE(event.load_product("nope", &data));
+
+    const auto labels = event.product_labels();
+    ASSERT_EQ(labels.size(), 2u);
+    EXPECT_EQ(labels[0], "hits");
+    EXPECT_EQ(labels[1], "tracks");
+  });
+}
+
+TEST(HepnosApi, ProductsDistributeAcrossDatabases) {
+  HepnosApiWorld w;
+  w.run_client([&] {
+    hepnos::DataSet ds(w.store, "ds2");
+    auto subrun = ds.create_run(1).create_subrun(1);
+    for (std::uint64_t e = 0; e < 64; ++e) {
+      auto event = subrun.create_event(e);
+      event.store_product("blob", "x");
+    }
+  });
+  std::size_t nonempty = 0;
+  for (std::uint32_t d = 0; d < 4; ++d) {
+    if (w.srv.kv().db(d).size() > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 4u);  // hash distribution reaches every db
+}
+
+TEST(HepnosApi, ScanPrefixFindsHierarchyMarkers) {
+  HepnosApiWorld w;
+  w.run_client([&] {
+    hepnos::DataSet ds(w.store, "scan-ds");
+    ds.create_run(1);
+    ds.create_run(2);
+    ds.create_run(7);
+    const auto markers = w.store.scan_prefix("scan-ds/run/");
+    ASSERT_EQ(markers.size(), 3u);
+    EXPECT_EQ(markers[0].first, "scan-ds/run/00000001");
+    EXPECT_EQ(markers[2].first, "scan-ds/run/00000007");
+  });
+}

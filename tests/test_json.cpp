@@ -1,0 +1,175 @@
+// Unit + property tests for the Sonata JSON implementation.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "services/sonata/json.hpp"
+#include "simkit/rng.hpp"
+
+namespace json = sym::json;
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(json::parse("null").is_null());
+  EXPECT_EQ(json::parse("true").as_bool(), true);
+  EXPECT_EQ(json::parse("false").as_bool(), false);
+  EXPECT_EQ(json::parse("42").as_int(), 42);
+  EXPECT_EQ(json::parse("-17").as_int(), -17);
+  EXPECT_DOUBLE_EQ(json::parse("3.5").as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(json::parse("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(json::parse("-2.5e-2").as_number(), -0.025);
+  EXPECT_EQ(json::parse("\"hi\"").as_string(), "hi");
+}
+
+TEST(Json, IntegerVsDoubleDetection) {
+  EXPECT_TRUE(json::parse("7").is_int());
+  EXPECT_TRUE(json::parse("7.0").is_double());
+  EXPECT_TRUE(json::parse("7e0").is_double());
+  // int/double numeric equality in queries
+  EXPECT_TRUE(json::parse("7") == json::parse("7.0"));
+}
+
+TEST(Json, ParseNestedStructures) {
+  const auto v = json::parse(R"({"a": [1, 2, {"b": "c"}], "d": {"e": null}})");
+  ASSERT_TRUE(v.is_object());
+  const auto* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->as_array().size(), 3u);
+  EXPECT_EQ(a->as_array()[2].find("b")->as_string(), "c");
+  EXPECT_TRUE(v.find_path("d.e")->is_null());
+}
+
+TEST(Json, FindPathWithArrayIndices) {
+  const auto v = json::parse(R"({"hits": [{"pt": 1.5}, {"pt": 2.5}]})");
+  ASSERT_NE(v.find_path("hits[1].pt"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find_path("hits[1].pt")->as_number(), 2.5);
+  EXPECT_EQ(v.find_path("hits[7].pt"), nullptr);
+  EXPECT_EQ(v.find_path("nope.x"), nullptr);
+}
+
+TEST(Json, StringEscapes) {
+  const auto v = json::parse(R"("a\"b\\c\nd\teA")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c\nd\teA");
+}
+
+TEST(Json, UnicodeEscapesUtf8) {
+  EXPECT_EQ(json::parse(R"("é")").as_string(), "\xC3\xA9");      // é
+  EXPECT_EQ(json::parse(R"("€")").as_string(), "\xE2\x82\xAC");  // €
+}
+
+TEST(Json, WhitespaceTolerance) {
+  const auto v = json::parse(" {\n\t\"a\" :\r [ 1 , 2 ] } ");
+  EXPECT_EQ(v.find("a")->as_array().size(), 2u);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_TRUE(json::parse("{}").as_object().empty());
+  EXPECT_TRUE(json::parse("[]").as_array().empty());
+}
+
+TEST(Json, MalformedInputsThrow) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "tru", "01x", "\"unterminated",
+        "[1] trailing", "{\"a\" 1}", "nul", "--3", "{1: 2}",
+        "\"bad\\escape\\q\""}) {
+    EXPECT_THROW((void)json::parse(bad), json::ParseError) << bad;
+  }
+}
+
+TEST(Json, DeepNestingGuard) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_THROW((void)json::parse(deep), json::ParseError);
+}
+
+TEST(Json, ControlCharacterRejected) {
+  std::string s = "\"a";
+  s += '\x01';
+  s += '"';
+  EXPECT_THROW((void)json::parse(s), json::ParseError);
+}
+
+TEST(Json, DumpRoundTrip) {
+  const char* docs[] = {
+      "null", "true", "[1,2,3]", R"({"a":1,"b":[true,null,"x"]})",
+      R"({"nested":{"deep":{"deeper":[{"k":"v"}]}}})"};
+  for (const char* doc : docs) {
+    const auto v = json::parse(doc);
+    const auto text = json::dump(v);
+    EXPECT_TRUE(json::parse(text) == v) << doc;
+  }
+}
+
+TEST(Json, DumpEscapesControlCharacters) {
+  json::Value v(std::string("line1\nline2\ttab\x01"));
+  const auto text = json::dump(v);
+  EXPECT_NE(text.find("\\n"), std::string::npos);
+  EXPECT_NE(text.find("\\t"), std::string::npos);
+  EXPECT_NE(text.find("\\u0001"), std::string::npos);
+  EXPECT_TRUE(json::parse(text) == v);
+}
+
+TEST(Json, PrettyPrintParsesBack) {
+  const auto v = json::parse(R"({"a":[1,{"b":2}],"c":"d"})");
+  const auto pretty = json::dump_pretty(v);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_TRUE(json::parse(pretty) == v);
+}
+
+// Property test: randomly generated documents survive dump->parse->dump.
+namespace {
+
+json::Value random_value(sym::sim::Rng& rng, int depth) {
+  const auto pick = rng.uniform(depth > 3 ? 5 : 7);
+  switch (pick) {
+    case 0: return json::Value(nullptr);
+    case 1: return json::Value(rng.bernoulli(0.5));
+    case 2:
+      return json::Value(static_cast<std::int64_t>(rng.uniform(1 << 30)) -
+                         (1 << 29));
+    case 3: return json::Value(rng.uniform_real(-1e6, 1e6));
+    case 4: {
+      std::string s;
+      const auto len = rng.uniform(12);
+      for (std::uint64_t i = 0; i < len; ++i) {
+        s += static_cast<char>('a' + rng.uniform(26));
+      }
+      if (rng.bernoulli(0.2)) s += "\"\\\n";
+      return json::Value(std::move(s));
+    }
+    case 5: {
+      json::Array arr;
+      const auto n = rng.uniform(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        arr.push_back(random_value(rng, depth + 1));
+      }
+      return json::Value(std::move(arr));
+    }
+    default: {
+      json::Object obj;
+      const auto n = rng.uniform(4);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        obj["k" + std::to_string(i)] = random_value(rng, depth + 1);
+      }
+      return json::Value(std::move(obj));
+    }
+  }
+}
+
+}  // namespace
+
+class JsonRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(JsonRoundTripProperty, DumpParseStable) {
+  sym::sim::Rng rng(GetParam());
+  for (int i = 0; i < 50; ++i) {
+    const auto v = random_value(rng, 0);
+    const auto once = json::dump(v);
+    const auto again = json::dump(json::parse(once));
+    EXPECT_EQ(once, again);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));

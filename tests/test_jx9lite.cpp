@@ -1,0 +1,114 @@
+// Tests for the jx9lite filter-expression language.
+#include <gtest/gtest.h>
+
+#include "services/sonata/json.hpp"
+#include "services/sonata/jx9lite.hpp"
+
+namespace json = sym::json;
+namespace jx9 = sym::jx9;
+
+namespace {
+
+json::Value sample() {
+  return json::parse(R"({
+    "pt": 42.5,
+    "detector": "EMCAL",
+    "hits": [1, 2, 3],
+    "vertex": {"x": 0.1, "z": -3.0},
+    "good": true,
+    "empty": ""
+  })");
+}
+
+bool eval(const char* expr) {
+  return jx9::Filter::compile(expr).matches(sample());
+}
+
+}  // namespace
+
+TEST(Jx9, NumericComparisons) {
+  EXPECT_TRUE(eval("$pt > 40"));
+  EXPECT_TRUE(eval("$pt >= 42.5"));
+  EXPECT_FALSE(eval("$pt > 42.5"));
+  EXPECT_TRUE(eval("$pt < 100"));
+  EXPECT_TRUE(eval("$pt <= 42.5"));
+  EXPECT_TRUE(eval("$pt == 42.5"));
+  EXPECT_TRUE(eval("$pt != 41"));
+}
+
+TEST(Jx9, StringComparisons) {
+  EXPECT_TRUE(eval("$detector == \"EMCAL\""));
+  EXPECT_FALSE(eval("$detector == \"HCAL\""));
+  EXPECT_TRUE(eval("$detector != \"HCAL\""));
+  EXPECT_TRUE(eval("$detector < \"FCAL\""));  // lexicographic
+}
+
+TEST(Jx9, NestedPathAccess) {
+  EXPECT_TRUE(eval("$vertex.z < 0"));
+  EXPECT_TRUE(eval("$vertex.x > 0 && $vertex.z < 0"));
+  EXPECT_TRUE(eval("$hits[2] == 3"));
+  EXPECT_FALSE(eval("$hits[0] == 3"));
+}
+
+TEST(Jx9, LogicalOperators) {
+  EXPECT_TRUE(eval("$pt > 40 && $detector == \"EMCAL\""));
+  EXPECT_FALSE(eval("$pt > 40 && $detector == \"HCAL\""));
+  EXPECT_TRUE(eval("$pt > 100 || $detector == \"EMCAL\""));
+  EXPECT_TRUE(eval("!($pt > 100)"));
+  EXPECT_TRUE(eval("($pt > 40 || $pt < 0) && $good"));
+}
+
+TEST(Jx9, ExistsPredicate) {
+  EXPECT_TRUE(eval("exists($vertex.z)"));
+  EXPECT_FALSE(eval("exists($vertex.w)"));
+  EXPECT_TRUE(eval("exists($hits[1])"));
+  EXPECT_FALSE(eval("exists($hits[9])"));
+  EXPECT_TRUE(eval("!exists($nope)"));
+}
+
+TEST(Jx9, Truthiness) {
+  EXPECT_TRUE(eval("$good"));
+  EXPECT_FALSE(eval("$empty"));
+  EXPECT_TRUE(eval("$pt"));
+  EXPECT_TRUE(eval("$hits"));
+  EXPECT_FALSE(eval("$missing"));
+}
+
+TEST(Jx9, MissingFieldsCompareFalse) {
+  EXPECT_FALSE(eval("$missing > 1"));
+  EXPECT_FALSE(eval("$missing == 1"));
+  EXPECT_TRUE(eval("$missing != 1"));  // one side missing => unequal
+}
+
+TEST(Jx9, LiteralOperands) {
+  EXPECT_TRUE(eval("1 < 2"));
+  EXPECT_TRUE(eval("\"a\" < \"b\""));
+  EXPECT_TRUE(eval("true"));
+  EXPECT_FALSE(eval("false"));
+  EXPECT_FALSE(eval("null"));
+  EXPECT_TRUE(eval("-5 < -1"));
+}
+
+TEST(Jx9, MixedTypeOrderingIsFalse) {
+  EXPECT_FALSE(eval("$detector > 5"));
+  EXPECT_FALSE(eval("$good < \"x\""));
+}
+
+TEST(Jx9, SyntaxErrorsThrow) {
+  for (const char* bad : {"", "$", "$a >", "(", "$a == ", "exists(a)",
+                          "exists($a", "$a && ", "1 <"}) {
+    EXPECT_THROW((void)jx9::Filter::compile(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(Jx9, SourcePreserved) {
+  auto f = jx9::Filter::compile("$pt > 40");
+  EXPECT_EQ(f.source(), "$pt > 40");
+}
+
+TEST(Jx9, PrecedenceAndBeforeOr) {
+  // a || b && c  ==  a || (b && c)
+  auto v = json::parse(R"({"a": true, "b": false, "c": false})");
+  EXPECT_TRUE(jx9::Filter::compile("$a || $b && $c").matches(v));
+  EXPECT_FALSE(jx9::Filter::compile("($a || $b) && $c").matches(v));
+}

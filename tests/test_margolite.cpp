@@ -1,0 +1,577 @@
+// Integration tests for margolite: end-to-end RPC with the full SYMBIOSYS
+// instrumentation — breadcrumbs, Table III intervals, trace events, Lamport
+// clocks, instrumentation levels.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "simkit/cluster.hpp"
+#include "simkit/engine.hpp"
+#include "sofi/fabric.hpp"
+#include "symbiosys/records.hpp"
+
+namespace sim = sym::sim;
+namespace ofi = sym::ofi;
+namespace hg = sym::hg;
+namespace margo = sym::margo;
+namespace prof = sym::prof;
+
+namespace {
+
+struct World {
+  explicit World(prof::Level level = prof::Level::kFull,
+                 std::uint64_t seed = 11)
+      : eng(seed),
+        cluster(eng, sim::ClusterParams{.node_count = 2,
+                                        .max_clock_skew = sim::usec(20)}),
+        fabric(cluster),
+        sproc(cluster.spawn_process(0, "server")),
+        cproc(cluster.spawn_process(1, "client")),
+        server(fabric, sproc,
+               margo::InstanceConfig{.server = true,
+                                     .handler_es = 2,
+                                     .instr = level}),
+        client(fabric, cproc, margo::InstanceConfig{.instr = level}) {}
+
+  /// Run `body` as a client ULT, then shut everything down.
+  void run_client(std::function<void()> body) {
+    server.start();
+    client.start();
+    client.spawn([this, body = std::move(body)] {
+      body();
+      client.finalize();
+      server.finalize();
+    });
+    eng.run();
+  }
+
+  sim::Engine eng;
+  sim::Cluster cluster;
+  ofi::Fabric fabric;
+  sim::Process& sproc;
+  sim::Process& cproc;
+  margo::Instance server;
+  margo::Instance client;
+};
+
+/// Sum a given interval across all entries of a side in a profile store.
+double sum_interval(const prof::ProfileStore& store, prof::Side side,
+                    prof::Interval iv) {
+  double total = 0;
+  for (const auto& [key, stats] : store.entries()) {
+    if (key.side == side) total += stats.at(iv).sum_ns;
+  }
+  return total;
+}
+
+std::uint64_t count_interval(const prof::ProfileStore& store, prof::Side side,
+                             prof::Interval iv) {
+  std::uint64_t total = 0;
+  for (const auto& [key, stats] : store.entries()) {
+    if (key.side == side) total += stats.at(iv).count;
+  }
+  return total;
+}
+
+}  // namespace
+
+TEST(Margo, EchoRoundTrip) {
+  World w;
+  w.server.register_rpc("echo", 1, [](margo::Request& req) {
+    auto s = hg::decode<std::string>(req.body());
+    req.respond_value(s + "-pong");
+  });
+  const auto rpc = w.client.register_client_rpc("echo");
+  std::string reply;
+  w.run_client([&] {
+    auto resp = w.client.forward(w.server.addr(), 1, rpc,
+                                 hg::encode(std::string("ping")));
+    reply = hg::decode<std::string>(resp);
+  });
+  EXPECT_EQ(reply, "ping-pong");
+  EXPECT_EQ(w.server.requests_handled(), 1u);
+}
+
+TEST(Margo, ProviderRouting) {
+  World w;
+  w.server.register_rpc("who", 1, [](margo::Request& req) {
+    req.respond_value(std::string("provider-1"));
+  });
+  w.server.register_rpc("who", 2, [](margo::Request& req) {
+    req.respond_value(std::string("provider-2"));
+  });
+  const auto rpc = w.client.register_client_rpc("who");
+  std::string r1, r2;
+  w.run_client([&] {
+    r1 = hg::decode<std::string>(
+        w.client.forward(w.server.addr(), 1, rpc, {}));
+    r2 = hg::decode<std::string>(
+        w.client.forward(w.server.addr(), 2, rpc, {}));
+  });
+  EXPECT_EQ(r1, "provider-1");
+  EXPECT_EQ(r2, "provider-2");
+}
+
+TEST(Margo, OriginProfileRecorded) {
+  World w;
+  w.server.register_rpc("work", 1, [](margo::Request& req) {
+    sym::abt::compute(sim::usec(50));
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("work");
+  w.run_client([&] {
+    for (int i = 0; i < 5; ++i) {
+      w.client.forward(w.server.addr(), 1, rpc, {});
+    }
+  });
+  const auto& prof_store = w.client.profile();
+  EXPECT_EQ(count_interval(prof_store, prof::Side::kOrigin,
+                           prof::Interval::kOriginExec),
+            5u);
+  const double origin_exec = sum_interval(prof_store, prof::Side::kOrigin,
+                                          prof::Interval::kOriginExec);
+  // 5 x (>=50us of handler work + network): comfortably above 250us total.
+  EXPECT_GT(origin_exec, 250e3);
+  // PVAR-derived origin intervals present at Full level.
+  EXPECT_GT(sum_interval(prof_store, prof::Side::kOrigin,
+                         prof::Interval::kInputSer),
+            0.0);
+  EXPECT_GT(sum_interval(prof_store, prof::Side::kOrigin,
+                         prof::Interval::kOriginCallback),
+            0.0);
+}
+
+TEST(Margo, TargetProfileIntervalsConsistent) {
+  World w;
+  w.server.register_rpc("work", 1, [](margo::Request& req) {
+    sym::abt::compute(sim::usec(100));
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("work");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+
+  const auto& store = w.server.profile();
+  const double target_exec =
+      sum_interval(store, prof::Side::kTarget, prof::Interval::kTargetExec);
+  EXPECT_GE(target_exec, 100e3);  // at least the handler compute
+  EXPECT_GE(sum_interval(store, prof::Side::kTarget,
+                         prof::Interval::kHandlerWait),
+            0.0);
+  EXPECT_GT(sum_interval(store, prof::Side::kTarget,
+                         prof::Interval::kInputDeser),
+            0.0);
+  EXPECT_GT(sum_interval(store, prof::Side::kTarget,
+                         prof::Interval::kOutputSer),
+            0.0);
+  EXPECT_GT(sum_interval(store, prof::Side::kTarget,
+                         prof::Interval::kTargetCallback),
+            0.0);
+  // Origin-side envelope must exceed the sum of the target-side pieces.
+  const double origin_exec = sum_interval(
+      w.client.profile(), prof::Side::kOrigin, prof::Interval::kOriginExec);
+  EXPECT_GT(origin_exec, target_exec);
+}
+
+TEST(Margo, BreadcrumbDepthOneForRootCall) {
+  World w;
+  w.server.register_rpc("leaf_rpc", 1,
+                        [](margo::Request& req) { req.respond({}); });
+  const auto rpc = w.client.register_client_rpc("leaf_rpc");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+  bool found = false;
+  for (const auto& [key, stats] : w.client.profile().entries()) {
+    if (key.side != prof::Side::kOrigin) continue;
+    EXPECT_EQ(prof::depth(key.breadcrumb), 1);
+    EXPECT_EQ(prof::leaf_of(key.breadcrumb), prof::hash16("leaf_rpc"));
+    found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Margo, NestedCallExtendsBreadcrumb) {
+  // client -> server:outer -> server:inner (self-call through the RPC stack)
+  World w;
+  const auto inner_id = w.server.register_rpc(
+      "inner_rpc", 1, [](margo::Request& req) { req.respond({}); });
+  w.server.register_rpc("outer_rpc", 1, [&](margo::Request& req) {
+    auto& inst = req.instance();
+    inst.forward(inst.addr(), 1, inner_id, {});
+    req.respond({});
+  });
+  const auto outer_id = w.client.register_client_rpc("outer_rpc");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, outer_id, {}); });
+
+  // The server profile must contain a depth-2 target entry for
+  // outer_rpc => inner_rpc.
+  const auto expected = prof::extend(prof::hash16("outer_rpc"),
+                                     prof::hash16("inner_rpc"));
+  bool found_depth2 = false;
+  for (const auto& [key, stats] : w.server.profile().entries()) {
+    if (key.breadcrumb == expected && key.side == prof::Side::kTarget) {
+      found_depth2 = true;
+    }
+  }
+  EXPECT_TRUE(found_depth2);
+}
+
+TEST(Margo, RequestIdSharedAcrossNestedSpans) {
+  World w;
+  const auto inner_id = w.server.register_rpc(
+      "nid_inner", 1, [](margo::Request& req) { req.respond({}); });
+  w.server.register_rpc("nid_outer", 1, [&](margo::Request& req) {
+    req.instance().forward(req.instance().addr(), 1, inner_id, {});
+    req.respond({});
+  });
+  const auto outer = w.client.register_client_rpc("nid_outer");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, outer, {}); });
+
+  std::set<std::uint64_t> rids;
+  for (const auto& ev : w.client.trace().events()) rids.insert(ev.request_id);
+  for (const auto& ev : w.server.trace().events()) rids.insert(ev.request_id);
+  EXPECT_EQ(rids.size(), 1u);  // one request id spans the whole chain
+}
+
+TEST(Margo, TraceEventsEmittedAtFourPoints) {
+  World w;
+  w.server.register_rpc("t4", 1, [](margo::Request& req) { req.respond({}); });
+  const auto rpc = w.client.register_client_rpc("t4");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+  // Client: origin start + origin end. Server: target start + target end.
+  ASSERT_EQ(w.client.trace().size(), 2u);
+  ASSERT_EQ(w.server.trace().size(), 2u);
+  EXPECT_EQ(w.client.trace().events()[0].kind,
+            prof::TraceEventKind::kOriginStart);
+  EXPECT_EQ(w.client.trace().events()[1].kind,
+            prof::TraceEventKind::kOriginEnd);
+  EXPECT_EQ(w.server.trace().events()[0].kind,
+            prof::TraceEventKind::kTargetStart);
+  EXPECT_EQ(w.server.trace().events()[1].kind,
+            prof::TraceEventKind::kTargetEnd);
+}
+
+TEST(Margo, LamportClocksRespectCausality) {
+  World w;
+  w.server.register_rpc("lam", 1, [](margo::Request& req) { req.respond({}); });
+  const auto rpc = w.client.register_client_rpc("lam");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+  const auto& ce = w.client.trace().events();
+  const auto& se = w.server.trace().events();
+  ASSERT_EQ(ce.size(), 2u);
+  ASSERT_EQ(se.size(), 2u);
+  // origin start < target start < target end < origin end in Lamport order.
+  EXPECT_LT(ce[0].lamport, se[0].lamport);
+  EXPECT_LT(se[0].lamport, se[1].lamport);
+  EXPECT_LT(se[1].lamport, ce[1].lamport);
+}
+
+TEST(Margo, LocalTimestampsCarryNodeSkew) {
+  World w;
+  w.server.register_rpc("skew", 1,
+                        [](margo::Request& req) { req.respond({}); });
+  const auto rpc = w.client.register_client_rpc("skew");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+  // The client is on node 1 which has nonzero skew with high probability
+  // under seed 11; just check the local clock mapping is consistent.
+  const auto skew = w.cluster.node(1).clock_skew_ns();
+  const auto& ev = w.client.trace().events()[0];
+  EXPECT_EQ(static_cast<std::int64_t>(ev.local_ts),
+            static_cast<std::int64_t>(ev.local_ts));
+  if (skew < 0) {
+    // local clock must lag global time
+    EXPECT_LT(ev.local_ts + sim::usec(100), w.eng.now());
+  }
+  SUCCEED();
+}
+
+TEST(Margo, InstrumentationLevelOffRecordsNothing) {
+  World w(prof::Level::kOff);
+  w.server.register_rpc("off", 1, [](margo::Request& req) { req.respond({}); });
+  const auto rpc = w.client.register_client_rpc("off");
+  std::vector<std::byte> resp;
+  w.run_client([&] {
+    resp = w.client.forward(w.server.addr(), 1, rpc, hg::encode(42));
+  });
+  EXPECT_EQ(w.client.profile().size(), 0u);
+  EXPECT_EQ(w.client.trace().size(), 0u);
+  EXPECT_EQ(w.server.profile().size(), 0u);
+  EXPECT_EQ(w.server.trace().size(), 0u);
+}
+
+TEST(Margo, Stage1PropagatesButDoesNotMeasure) {
+  World w(prof::Level::kStage1);
+  std::uint64_t server_rid = 0;
+  w.server.register_rpc("s1", 1, [&](margo::Request& req) {
+    server_rid = req.handle()->header.request_id;
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("s1");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+  EXPECT_NE(server_rid, 0u);            // metadata propagated
+  EXPECT_EQ(w.client.profile().size(), 0u);  // but nothing measured
+  EXPECT_EQ(w.client.trace().size(), 0u);
+}
+
+TEST(Margo, Stage2SkipsPvarColumns) {
+  World w(prof::Level::kStage2);
+  w.server.register_rpc("s2", 1, [](margo::Request& req) { req.respond({}); });
+  const auto rpc = w.client.register_client_rpc("s2");
+  w.run_client([&] { w.client.forward(w.server.addr(), 1, rpc, {}); });
+  ASSERT_GT(w.client.profile().size(), 0u);
+  // ULT-key intervals present, PVAR-derived intervals absent.
+  EXPECT_GT(count_interval(w.client.profile(), prof::Side::kOrigin,
+                           prof::Interval::kOriginExec),
+            0u);
+  EXPECT_EQ(count_interval(w.client.profile(), prof::Side::kOrigin,
+                           prof::Interval::kInputSer),
+            0u);
+  EXPECT_EQ(count_interval(w.server.profile(), prof::Side::kTarget,
+                           prof::Interval::kInputDeser),
+            0u);
+  EXPECT_GT(count_interval(w.server.profile(), prof::Side::kTarget,
+                           prof::Interval::kTargetExec),
+            0u);
+}
+
+TEST(Margo, AsyncForwardOverlaps) {
+  World w;
+  w.server.register_rpc("slow", 1, [](margo::Request& req) {
+    sym::abt::compute(sim::usec(200));
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("slow");
+  sim::TimeNs elapsed = 0;
+  w.run_client([&] {
+    const auto t0 = w.eng.now();
+    std::vector<margo::PendingOpPtr> ops;
+    for (int i = 0; i < 2; ++i) {
+      ops.push_back(w.client.forward_async(w.server.addr(), 1, rpc, {}));
+    }
+    for (auto& op : ops) op->wait();
+    elapsed = w.eng.now() - t0;
+  });
+  // Two 200us handler computations on 2 handler ESs overlap: total well
+  // under the 400us serial time.
+  EXPECT_LT(elapsed, sim::usec(380));
+  EXPECT_GE(elapsed, sim::usec(200));
+}
+
+TEST(Margo, HandlerWaitGrowsWhenEsStarved) {
+  // 1 handler ES, 4 concurrent slow requests: later handlers wait (t4->t5).
+  World w;
+  margo::InstanceConfig cfg;
+  cfg.server = true;
+  cfg.handler_es = 1;
+  margo::Instance server1(w.fabric, w.cluster.spawn_process(0, "server1"),
+                          cfg);
+  server1.register_rpc("starve", 1, [](margo::Request& req) {
+    sym::abt::compute(sim::usec(100));
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("starve");
+  server1.start();
+  w.client.start();
+  w.client.spawn([&] {
+    std::vector<margo::PendingOpPtr> ops;
+    for (int i = 0; i < 4; ++i) {
+      ops.push_back(w.client.forward_async(server1.addr(), 1, rpc, {}));
+    }
+    for (auto& op : ops) op->wait();
+    w.client.finalize();
+    server1.finalize();
+    w.server.finalize();
+  });
+  w.server.start();
+  w.eng.run();
+
+  const double wait = sum_interval(server1.profile(), prof::Side::kTarget,
+                                   prof::Interval::kHandlerWait);
+  // With one ES the 2nd..4th ULT wait ~100/200/300us: > 500us cumulative.
+  EXPECT_GT(wait, 500e3);
+}
+
+TEST(Margo, BulkPullMovesBytes) {
+  World w;
+  std::uint64_t pulled = 0;
+  w.server.register_rpc("bulk", 1, [&](margo::Request& req) {
+    auto r = req.reader();
+    std::uint64_t size = 0;
+    hg::get(r, size);
+    req.bulk_pull(size);
+    pulled = size;
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("bulk");
+  w.run_client([&] {
+    w.client.forward(w.server.addr(), 1, rpc,
+                     hg::encode(std::uint64_t{1 << 20}));
+  });
+  EXPECT_EQ(pulled, 1u << 20);
+  EXPECT_EQ(w.server.hg_class().bulk_bytes_total(), 1u << 20);
+}
+
+TEST(Margo, SysStatSamplerProducesRows) {
+  World w;
+  w.server.register_rpc("ss", 1, [](margo::Request& req) {
+    sym::abt::compute(sim::msec(5));
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("ss");
+  w.run_client([&] {
+    for (int i = 0; i < 10; ++i) {
+      w.client.forward(w.server.addr(), 1, rpc, {});
+    }
+  });
+  // >= 50ms of virtual run time with a 10ms sampler period.
+  EXPECT_GE(w.server.sysstats().size(), 3u);
+}
+
+TEST(Margo, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    World w(prof::Level::kFull, 99);
+    w.server.register_rpc("det", 1, [&](margo::Request& req) {
+      sym::abt::compute(w.eng.rng().uniform_range(1000, 50000));
+      req.respond({});
+    });
+    const auto rpc = w.client.register_client_rpc("det");
+    sim::TimeNs end = 0;
+    w.run_client([&] {
+      for (int i = 0; i < 20; ++i) {
+        w.client.forward(w.server.addr(), 1, rpc, {});
+      }
+      end = w.eng.now();
+    });
+    return std::make_pair(end, w.client.trace().size());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+TEST(Margo, ForwardTimeoutFiresWhenServerStalls) {
+  World w;
+  w.server.register_rpc("stall", 1, [](margo::Request& req) {
+    sym::abt::sleep_for(sim::msec(50));  // far beyond the deadline
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("stall");
+  bool timed_out = false;
+  sim::TimeNs waited = 0;
+  w.run_client([&] {
+    const auto t0 = w.eng.now();
+    auto op = w.client.forward_async(w.server.addr(), 1, rpc, {}, nullptr, 0,
+                                     /*timeout=*/sim::msec(1));
+    op->wait();
+    timed_out = op->timed_out();
+    waited = w.eng.now() - t0;
+  });
+  EXPECT_TRUE(timed_out);
+  EXPECT_GE(waited, sim::msec(1));
+  EXPECT_LT(waited, sim::msec(5));  // released at the deadline, not at t=50ms
+}
+
+TEST(Margo, ForwardTimeoutNotFiredOnFastResponse) {
+  World w;
+  w.server.register_rpc("fast", 1, [](margo::Request& req) {
+    req.respond_value(std::uint32_t{7});
+  });
+  const auto rpc = w.client.register_client_rpc("fast");
+  bool timed_out = true;
+  std::uint32_t value = 0;
+  w.run_client([&] {
+    auto op = w.client.forward_async(w.server.addr(), 1, rpc, {}, nullptr, 0,
+                                     /*timeout=*/sim::msec(100));
+    const auto& resp = op->wait();
+    timed_out = op->timed_out();
+    value = hg::decode<std::uint32_t>(resp);
+  });
+  EXPECT_FALSE(timed_out);
+  EXPECT_EQ(value, 7u);
+}
+
+TEST(Margo, LateResponseAfterTimeoutIsAbsorbed) {
+  World w;
+  int handled = 0;
+  w.server.register_rpc("late", 1, [&](margo::Request& req) {
+    sym::abt::sleep_for(sim::msec(2));
+    ++handled;
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("late");
+  w.run_client([&] {
+    auto op = w.client.forward_async(w.server.addr(), 1, rpc, {}, nullptr, 0,
+                                     /*timeout=*/sim::usec(100));
+    op->wait();
+    EXPECT_TRUE(op->timed_out());
+    // Keep the client alive long enough for the late response to land.
+    sym::abt::sleep_for(sim::msec(10));
+  });
+  EXPECT_EQ(handled, 1);  // the server did process the request
+  // The late response reclaimed the posted handle.
+  EXPECT_EQ(w.client.hg_class().num_posted_handles(), 0u);
+}
+
+TEST(Margo, TimedOutOpRecordsNoProfile) {
+  World w;
+  w.server.register_rpc("noresp", 1, [](margo::Request& req) {
+    sym::abt::sleep_for(sim::msec(50));
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("noresp");
+  w.run_client([&] {
+    auto op = w.client.forward_async(w.server.addr(), 1, rpc, {}, nullptr, 0,
+                                     sim::usec(200));
+    op->wait();
+  });
+  // Origin-exec envelope must not contain a bogus entry for the timed-out
+  // call (the paper's profile only covers completed requests).
+  double origin = 0;
+  for (const auto& [key, stats] : w.client.profile().entries()) {
+    origin += stats.at(prof::Interval::kOriginExec).sum_ns;
+  }
+  EXPECT_EQ(origin, 0.0);
+}
+
+TEST(Margo, UnknownProviderYieldsErrorResponse) {
+  World w;
+  w.server.register_rpc("known", 1, [](margo::Request& req) {
+    req.respond({});
+  });
+  const auto rpc = w.client.register_client_rpc("known");
+  bool failed_wrong_provider = false;
+  bool failed_good_provider = true;
+  w.run_client([&] {
+    auto bad = w.client.forward_async(w.server.addr(), 99, rpc, {});
+    bad->wait();
+    failed_wrong_provider = bad->failed();
+    auto good = w.client.forward_async(w.server.addr(), 1, rpc, {});
+    good->wait();
+    failed_good_provider = good->failed();
+  });
+  EXPECT_TRUE(failed_wrong_provider);
+  EXPECT_FALSE(failed_good_provider);
+}
+
+TEST(Margo, UnregisteredRpcYieldsErrorResponse) {
+  World w;
+  const auto rpc = w.client.register_client_rpc("nobody_serves_this");
+  // The server must know the wire name to route at the hg layer at all; an
+  // entirely unknown rpc_id is dropped there. Register it as client-only on
+  // the server too (name known, no handler): margolite answers with error.
+  w.server.register_client_rpc("nobody_serves_this");
+  w.server.hg_class().register_rpc("nobody_serves_this",
+                                   [&](hg::HandlePtr h) {
+                                     // route into margolite's dispatch
+                                     // (normally done by register_rpc)
+                                     (void)h;
+                                   });
+  bool failed = false;
+  w.run_client([&] {
+    auto op = w.client.forward_async(w.server.addr(), 1, rpc, {}, nullptr, 0,
+                                     sim::msec(1));
+    op->wait();
+    failed = op->failed() || op->timed_out();
+  });
+  EXPECT_TRUE(failed);
+}

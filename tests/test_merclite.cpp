@@ -1,0 +1,438 @@
+// Unit tests for merclite: proc serialization, the PVAR interface, and the
+// RPC class mechanics (eager overflow, posted handles, progress/trigger).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "merclite/core.hpp"
+#include "merclite/proc.hpp"
+#include "merclite/pvar.hpp"
+#include "simkit/cluster.hpp"
+#include "simkit/engine.hpp"
+#include "sofi/fabric.hpp"
+
+namespace sim = sym::sim;
+namespace ofi = sym::ofi;
+namespace hg = sym::hg;
+
+// ---------------------------------------------------------------------------
+// proc serialization
+// ---------------------------------------------------------------------------
+
+TEST(Proc, IntegerRoundTrip) {
+  hg::BufWriter w;
+  hg::put(w, std::uint8_t{7});
+  hg::put(w, std::uint16_t{1234});
+  hg::put(w, std::uint32_t{7654321});
+  hg::put(w, std::uint64_t{0xDEADBEEFCAFEF00DULL});
+  hg::put(w, std::int32_t{-42});
+  hg::put(w, 3.5);
+
+  hg::BufReader r(w.buffer());
+  std::uint8_t a;
+  std::uint16_t b;
+  std::uint32_t c;
+  std::uint64_t d;
+  std::int32_t e;
+  double f;
+  hg::get(r, a);
+  hg::get(r, b);
+  hg::get(r, c);
+  hg::get(r, d);
+  hg::get(r, e);
+  hg::get(r, f);
+  EXPECT_EQ(a, 7u);
+  EXPECT_EQ(b, 1234u);
+  EXPECT_EQ(c, 7654321u);
+  EXPECT_EQ(d, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(e, -42);
+  EXPECT_EQ(f, 3.5);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Proc, StringRoundTrip) {
+  hg::BufWriter w;
+  hg::put(w, std::string("hello mochi"));
+  hg::put(w, std::string(""));
+  hg::BufReader r(w.buffer());
+  std::string a, b;
+  hg::get(r, a);
+  hg::get(r, b);
+  EXPECT_EQ(a, "hello mochi");
+  EXPECT_EQ(b, "");
+}
+
+TEST(Proc, VectorOfPairsRoundTrip) {
+  std::vector<std::pair<std::string, std::string>> kvs = {
+      {"key1", "value1"}, {"key2", "value2"}, {"", "v"}};
+  const auto buf = hg::encode(kvs);
+  const auto out =
+      hg::decode<std::vector<std::pair<std::string, std::string>>>(buf);
+  EXPECT_EQ(out, kvs);
+}
+
+TEST(Proc, UnderrunThrows) {
+  hg::BufWriter w;
+  hg::put(w, std::uint16_t{1});
+  hg::BufReader r(w.buffer());
+  std::uint64_t big;
+  EXPECT_THROW(hg::get(r, big), std::out_of_range);
+}
+
+TEST(Proc, NestedVectors) {
+  std::vector<std::vector<std::uint32_t>> vv = {{1, 2, 3}, {}, {42}};
+  EXPECT_EQ(hg::decode<decltype(vv)>(hg::encode(vv)), vv);
+}
+
+TEST(Proc, WriteZerosCountsTowardSize) {
+  hg::BufWriter w;
+  w.write_zeros(1000);
+  EXPECT_EQ(w.size(), 1000u);
+}
+
+TEST(Proc, RpcHeaderRoundTrip) {
+  hg::RpcHeader h;
+  h.rpc_id = 0x1122334455667788ULL;
+  h.provider_id = 3;
+  h.op_seq = 99;
+  h.breadcrumb = 0xAAAABBBBCCCCDDDDULL;
+  h.request_id = 12345;
+  h.trace_order = 7;
+  h.lamport = 1000;
+  h.flags = hg::kFlagTracing;
+  h.body_size = 4096;
+  hg::BufWriter w;
+  hg::put(w, h);
+  EXPECT_EQ(w.size(), hg::rpc_header_wire_size());
+  hg::BufReader r(w.buffer());
+  hg::RpcHeader out;
+  hg::get(r, out);
+  EXPECT_EQ(out.rpc_id, h.rpc_id);
+  EXPECT_EQ(out.breadcrumb, h.breadcrumb);
+  EXPECT_EQ(out.request_id, h.request_id);
+  EXPECT_EQ(out.lamport, h.lamport);
+  EXPECT_EQ(out.body_size, h.body_size);
+}
+
+// ---------------------------------------------------------------------------
+// Fixture for class-level tests
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct HgFixture {
+  sim::Engine eng{7};
+  sim::Cluster cluster{eng,
+                       sim::ClusterParams{.node_count = 2,
+                                          .max_clock_skew = 0}};
+  ofi::Fabric fabric{cluster};
+  sim::Process& sp{cluster.spawn_process(0, "server")};
+  sim::Process& cp{cluster.spawn_process(1, "client")};
+  hg::Class server{fabric, sp};
+  hg::Class client{fabric, cp};
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PVAR interface
+// ---------------------------------------------------------------------------
+
+TEST(Pvar, TableTwoVariablesExported) {
+  HgFixture f;
+  auto s = f.server.pvar_session_init();
+  EXPECT_GE(s.count(), 10);
+  for (const char* name :
+       {"num_posted_handles", "completion_queue_size", "num_ofi_events_read",
+        "num_rpcs_invoked", "internal_rdma_transfer_time",
+        "input_serialization_time", "input_deserialization_time",
+        "output_serialization_time", "origin_completion_callback_time"}) {
+    EXPECT_GE(f.server.pvars().find(name), 0) << name;
+  }
+}
+
+TEST(Pvar, ClassAndBindMetadata) {
+  HgFixture f;
+  auto s = f.client.pvar_session_init();
+  const int i = f.client.pvars().find("num_rpcs_invoked");
+  ASSERT_GE(i, 0);
+  EXPECT_EQ(s.info(i).cls, hg::PvarClass::kCounter);
+  EXPECT_EQ(s.info(i).bind, hg::PvarBind::kNoObject);
+  const int t = f.client.pvars().find("input_serialization_time");
+  ASSERT_GE(t, 0);
+  EXPECT_EQ(s.info(t).cls, hg::PvarClass::kTimer);
+  EXPECT_EQ(s.info(t).bind, hg::PvarBind::kHandle);
+  EXPECT_STREQ(hg::to_string(s.info(t).cls), "TIMER");
+  EXPECT_STREQ(hg::to_string(s.info(t).bind), "HANDLE");
+}
+
+TEST(Pvar, SessionLifecycle) {
+  HgFixture f;
+  auto s = f.client.pvar_session_init();
+  auto h = s.alloc("num_rpcs_invoked");
+  ASSERT_TRUE(h.valid());
+  EXPECT_EQ(s.read(h), 0.0);
+  EXPECT_EQ(s.allocated_handles(), 1u);
+  s.finalize();
+  EXPECT_FALSE(s.active());
+  EXPECT_THROW((void)s.read(h), std::logic_error);
+}
+
+TEST(Pvar, UnknownNameGivesInvalidHandle) {
+  HgFixture f;
+  auto s = f.client.pvar_session_init();
+  EXPECT_FALSE(s.alloc("no_such_pvar").valid());
+}
+
+TEST(Pvar, HandleBoundRequiresObject) {
+  HgFixture f;
+  auto s = f.client.pvar_session_init();
+  auto h = s.alloc("input_serialization_time");
+  EXPECT_THROW((void)s.read(h, nullptr), std::invalid_argument);
+}
+
+TEST(Pvar, DistinctSessionIds) {
+  HgFixture f;
+  auto a = f.client.pvar_session_init();
+  auto b = f.client.pvar_session_init();
+  EXPECT_NE(a.id(), b.id());
+}
+
+// ---------------------------------------------------------------------------
+// RPC class mechanics (driven without margolite)
+// ---------------------------------------------------------------------------
+
+TEST(HgClass, RegisterGivesStableHashId) {
+  HgFixture f;
+  const auto id1 = f.server.register_rpc("my_rpc", [](hg::HandlePtr) {});
+  const auto id2 = f.client.register_rpc("my_rpc", nullptr);
+  EXPECT_EQ(id1, id2);
+  ASSERT_NE(f.server.rpc_name(id1), nullptr);
+  EXPECT_EQ(*f.server.rpc_name(id1), "my_rpc");
+  EXPECT_EQ(f.server.rpc_name(12345), nullptr);
+}
+
+TEST(HgClass, EndToEndRequestResponse) {
+  HgFixture f;
+  std::string received;
+  hg::HandlePtr target_handle;
+  f.server.register_rpc("echo", [&](hg::HandlePtr h) {
+    received = hg::decode<std::string>(h->body);
+    target_handle = h;
+  });
+  const auto rpc = f.client.register_rpc("echo", nullptr);
+
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  bool completed = false;
+  std::string reply;
+  f.client.forward(h, hg::encode(std::string("ping")),
+                   [&](const hg::HandlePtr& done) {
+                     reply = hg::decode<std::string>(done->response_body);
+                     completed = true;
+                   });
+  EXPECT_EQ(f.client.num_posted_handles(), 1u);
+  EXPECT_EQ(f.client.num_rpcs_invoked(), 1u);
+
+  f.eng.run();  // deliver request to the server's OFI CQ
+  EXPECT_EQ(f.server.progress(), 1u);
+  EXPECT_EQ(received, "ping");
+  ASSERT_NE(target_handle, nullptr);
+  EXPECT_TRUE(target_handle->target_side());
+
+  f.server.respond(target_handle, hg::encode(std::string("pong")),
+                   nullptr);
+  f.eng.run();  // deliver response
+  EXPECT_GE(f.client.progress(), 1u);
+  EXPECT_EQ(f.client.num_posted_handles(), 0u);
+  EXPECT_FALSE(completed);  // callback waits for trigger()
+  EXPECT_EQ(f.client.completion_queue_size(), 1u);
+  EXPECT_EQ(f.client.trigger(), 1u);
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(reply, "pong");
+}
+
+TEST(HgClass, InputSerializationTimerRecorded) {
+  HgFixture f;
+  const auto rpc = f.client.register_rpc("r", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(1000), nullptr);
+  EXPECT_GT(h->timer(hg::kHtInputSer), 0.0);
+  // cost model: base + 0.15/byte => >= 300ns and >= 150ns contribution.
+  EXPECT_GE(h->timer(hg::kHtInputSer), 400.0);
+}
+
+TEST(HgClass, EagerOverflowTakesInternalRdmaPath) {
+  HgFixture f;
+  hg::HandlePtr arrived;
+  f.server.register_rpc("big", [&](hg::HandlePtr h) { arrived = h; });
+  const auto rpc = f.client.register_rpc("big", nullptr);
+
+  const std::size_t big_size = 64 * 1024;  // above the 4 KiB eager limit
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(big_size), nullptr);
+  EXPECT_EQ(f.client.eager_overflows(), 1u);
+
+  f.eng.run();
+  f.server.progress();          // receives eager part, posts internal RDMA
+  EXPECT_EQ(arrived, nullptr);  // not dispatched until RDMA completes
+  f.eng.run();
+  f.server.progress();  // RDMA completion
+  ASSERT_NE(arrived, nullptr);
+  EXPECT_GT(arrived->timer(hg::kHtInternalRdma), 0.0);
+  EXPECT_EQ(arrived->body.size(), big_size);
+}
+
+TEST(HgClass, SmallRequestHasNoInternalRdma) {
+  HgFixture f;
+  hg::HandlePtr arrived;
+  f.server.register_rpc("small", [&](hg::HandlePtr h) { arrived = h; });
+  const auto rpc = f.client.register_rpc("small", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(100), nullptr);
+  f.eng.run();
+  f.server.progress();
+  ASSERT_NE(arrived, nullptr);
+  EXPECT_EQ(arrived->timer(hg::kHtInternalRdma), 0.0);
+  EXPECT_EQ(f.client.eager_overflows(), 0u);
+}
+
+TEST(HgClass, MaxEventsBoundsProgressReads) {
+  HgFixture f;
+  int arrivals = 0;
+  f.server.register_rpc("burst", [&](hg::HandlePtr) { ++arrivals; });
+  const auto rpc = f.client.register_rpc("burst", nullptr);
+  for (int i = 0; i < 40; ++i) {
+    auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+    f.client.forward(h, std::vector<std::byte>(16), nullptr);
+  }
+  f.eng.run();
+  // Default max_events = 16: the first progress call reads exactly 16.
+  EXPECT_EQ(f.server.progress(), 16u);
+  EXPECT_EQ(f.server.num_ofi_events_read(), 16u);
+  EXPECT_EQ(f.server.progress(), 16u);
+  EXPECT_EQ(f.server.progress(), 8u);
+  EXPECT_EQ(f.server.progress(), 0u);
+  EXPECT_EQ(arrivals, 40);
+
+  f.server.set_max_events(64);
+  for (int i = 0; i < 40; ++i) {
+    auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+    f.client.forward(h, std::vector<std::byte>(16), nullptr);
+  }
+  f.eng.run();
+  EXPECT_EQ(f.server.progress(), 40u);
+}
+
+TEST(HgClass, BulkTransferCompletesViaTrigger) {
+  HgFixture f;
+  hg::HandlePtr arrived;
+  f.server.register_rpc("bulkrpc", [&](hg::HandlePtr h) { arrived = h; });
+  const auto rpc = f.client.register_rpc("bulkrpc", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(32), nullptr);
+  f.eng.run();
+  f.server.progress();
+  ASSERT_NE(arrived, nullptr);
+
+  bool done = false;
+  f.server.bulk_transfer(arrived, 1 << 20, [&] { done = true; });
+  f.eng.run();
+  f.server.progress();
+  EXPECT_FALSE(done);
+  f.server.trigger();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(f.server.bulk_bytes_total(), 1u << 20);
+}
+
+TEST(HgClass, RespondSentCallbackFiresAfterSend) {
+  HgFixture f;
+  hg::HandlePtr arrived;
+  f.server.register_rpc("cb", [&](hg::HandlePtr h) { arrived = h; });
+  const auto rpc = f.client.register_rpc("cb", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(8), nullptr);
+  f.eng.run();
+  f.server.progress();
+  ASSERT_NE(arrived, nullptr);
+
+  bool sent = false;
+  f.server.respond(arrived, std::vector<std::byte>(8),
+                   [&](const hg::HandlePtr&) { sent = true; });
+  f.eng.run();
+  f.server.progress();
+  f.server.trigger();
+  EXPECT_TRUE(sent);
+}
+
+TEST(HgClass, OfiCqHighWatermarkPvar) {
+  HgFixture f;
+  f.server.register_rpc("hw", [](hg::HandlePtr) {});
+  const auto rpc = f.client.register_rpc("hw", nullptr);
+  for (int i = 0; i < 10; ++i) {
+    auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+    f.client.forward(h, std::vector<std::byte>(16), nullptr);
+  }
+  f.eng.run();
+  auto s = f.server.pvar_session_init();
+  auto hwm = s.alloc("ofi_cq_high_watermark");
+  EXPECT_GE(s.read(hwm), 10.0);
+}
+
+TEST(HgClass, CancelDropsLateResponse) {
+  HgFixture f;
+  hg::HandlePtr target_handle;
+  f.server.register_rpc("c1", [&](hg::HandlePtr h) { target_handle = h; });
+  const auto rpc = f.client.register_rpc("c1", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  bool completed = false;
+  f.client.forward(h, std::vector<std::byte>(8),
+                   [&](const hg::HandlePtr&) { completed = true; });
+  EXPECT_EQ(f.client.num_posted_handles(), 1u);
+
+  EXPECT_TRUE(f.client.cancel(h));
+  EXPECT_EQ(f.client.num_posted_handles(), 0u);
+  EXPECT_EQ(f.client.cancellations(), 1u);
+  EXPECT_FALSE(f.client.cancel(h));  // second cancel is a no-op
+
+  // The server still answers; the late response must be discarded.
+  f.eng.run();
+  f.server.progress();
+  ASSERT_NE(target_handle, nullptr);
+  f.server.respond(target_handle, std::vector<std::byte>(8), nullptr);
+  f.eng.run();
+  f.client.progress();
+  f.client.trigger();
+  EXPECT_FALSE(completed);
+}
+
+TEST(HgClass, BodyExactlyAtEagerLimitStaysEager) {
+  HgFixture f;
+  hg::HandlePtr arrived;
+  f.server.register_rpc("edge", [&](hg::HandlePtr h) { arrived = h; });
+  const auto rpc = f.client.register_rpc("edge", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(4096), nullptr);  // == limit
+  EXPECT_EQ(f.client.eager_overflows(), 0u);
+  f.eng.run();
+  f.server.progress();
+  ASSERT_NE(arrived, nullptr);
+  EXPECT_EQ(arrived->body.size(), 4096u);
+  EXPECT_EQ(arrived->timer(hg::kHtInternalRdma), 0.0);
+
+  // One byte more takes the overflow path.
+  auto h2 = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h2, std::vector<std::byte>(4097), nullptr);
+  EXPECT_EQ(f.client.eager_overflows(), 1u);
+}
+
+TEST(HgClass, UnknownRpcIsDropped) {
+  HgFixture f;
+  const auto rpc = f.client.register_rpc("never_registered_on_server", nullptr);
+  auto h = f.client.create_handle(f.server.addr(), rpc, 0);
+  f.client.forward(h, std::vector<std::byte>(8), nullptr);
+  f.eng.run();
+  EXPECT_EQ(f.server.progress(), 1u);  // event read...
+  EXPECT_EQ(f.server.num_rpcs_handled(), 1u);
+  EXPECT_EQ(f.server.completion_queue_size(), 0u);  // ...but nothing queued
+}

@@ -1,0 +1,507 @@
+// Integration tests for the services layer: SDSKV (all three backends),
+// BAKE, Sonata, Mobject and HEPnOS, all running over the full
+// margolite/merclite/sofi/argolite stack.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "margolite/instance.hpp"
+#include "services/bake/bake.hpp"
+#include "services/hepnos/hepnos.hpp"
+#include "services/mobject/mobject.hpp"
+#include "services/sdskv/sdskv.hpp"
+#include "services/sonata/sonata.hpp"
+#include "simkit/cluster.hpp"
+#include "sofi/fabric.hpp"
+
+namespace sim = sym::sim;
+namespace ofi = sym::ofi;
+namespace hg = sym::hg;
+namespace margo = sym::margo;
+namespace sdskv = sym::sdskv;
+namespace bake = sym::bake;
+namespace sonata = sym::sonata;
+namespace mobject = sym::mobject;
+namespace hepnos = sym::hepnos;
+
+namespace {
+
+struct ServiceWorld {
+  explicit ServiceWorld(unsigned handler_es = 4, std::uint64_t seed = 21)
+      : eng(seed),
+        cluster(eng, sim::ClusterParams{.node_count = 2}),
+        fabric(cluster),
+        sproc(cluster.spawn_process(0, "server")),
+        cproc(cluster.spawn_process(1, "client")),
+        server(fabric, sproc,
+               margo::InstanceConfig{.server = true,
+                                     .handler_es = handler_es}),
+        client(fabric, cproc, margo::InstanceConfig{}) {}
+
+  void run_client(std::function<void()> body) {
+    server.start();
+    client.start();
+    client.spawn([this, body = std::move(body)] {
+      body();
+      client.finalize();
+      server.finalize();
+    });
+    eng.run();
+  }
+
+  sim::Engine eng;
+  sim::Cluster cluster;
+  ofi::Fabric fabric;
+  sim::Process& sproc;
+  sim::Process& cproc;
+  margo::Instance server;
+  margo::Instance client;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SDSKV backends (direct, inside a ULT)
+// ---------------------------------------------------------------------------
+
+class BackendTest
+    : public ::testing::TestWithParam<sdskv::BackendType> {};
+
+TEST_P(BackendTest, PutGetEraseListSemantics) {
+  ServiceWorld w;
+  auto backend = sdskv::make_backend(GetParam(), w.sproc);
+  bool done = false;
+  // Drive backend calls from a ULT (they charge compute / take locks).
+  sym::abt::Runtime rt(w.eng, w.sproc);
+  auto& pool = rt.create_pool("p");
+  rt.create_xstream({&pool});
+  rt.create_ult(pool, [&] {
+    backend->put("b", "2");
+    backend->put("a", "1");
+    backend->put("c", "3");
+    backend->put("a", "1bis");  // overwrite
+    EXPECT_EQ(backend->size(), 3u);
+
+    std::string v;
+    EXPECT_TRUE(backend->get("a", &v));
+    EXPECT_EQ(v, "1bis");
+    EXPECT_FALSE(backend->get("zz", &v));
+
+    const auto scan = backend->list_keyvals("", 10);
+    ASSERT_EQ(scan.size(), 3u);
+    EXPECT_EQ(scan[0].first, "a");  // sorted ascending
+    EXPECT_EQ(scan[2].first, "c");
+
+    const auto bounded = backend->list_keyvals("a", 1);
+    ASSERT_EQ(bounded.size(), 1u);
+    EXPECT_EQ(bounded[0].first, "b");  // strictly greater than start key
+
+    EXPECT_TRUE(backend->erase("b"));
+    EXPECT_FALSE(backend->erase("b"));
+    EXPECT_EQ(backend->size(), 2u);
+    done = true;
+  });
+  w.eng.run();
+  EXPECT_TRUE(done);
+}
+
+TEST_P(BackendTest, PutMultiStoresAll) {
+  ServiceWorld w;
+  auto backend = sdskv::make_backend(GetParam(), w.sproc);
+  sym::abt::Runtime rt(w.eng, w.sproc);
+  auto& pool = rt.create_pool("p");
+  rt.create_xstream({&pool});
+  rt.create_ult(pool, [&] {
+    std::vector<sdskv::KeyValue> kvs;
+    for (int i = 0; i < 100; ++i) {
+      kvs.emplace_back("k" + std::to_string(i), std::string(64, 'v'));
+    }
+    backend->put_multi(kvs);
+    EXPECT_EQ(backend->size(), 100u);
+    EXPECT_GT(backend->stored_bytes(), 6400u);
+  });
+  w.eng.run();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, BackendTest,
+                         ::testing::Values(sdskv::BackendType::kMap,
+                                           sdskv::BackendType::kLevelDb,
+                                           sdskv::BackendType::kBerkeleyDb));
+
+TEST(SdskvBackend, MapSerializesWriters) {
+  // Two writers on two ESs against one map db: never concurrent.
+  ServiceWorld w;
+  sdskv::MapBackend backend(w.sproc);
+  sym::abt::Runtime rt(w.eng, w.sproc);
+  auto& pool = rt.create_pool("p");
+  rt.create_xstream({&pool});
+  rt.create_xstream({&pool});
+  std::uint64_t max_waiters = 0;
+  for (int i = 0; i < 4; ++i) {
+    rt.create_ult(pool, [&, i] {
+      std::vector<sdskv::KeyValue> kvs;
+      for (int k = 0; k < 50; ++k) {
+        kvs.emplace_back("w" + std::to_string(i) + "-" + std::to_string(k),
+                         std::string(512, 'x'));
+      }
+      backend.put_multi(kvs);
+      max_waiters = std::max<std::uint64_t>(max_waiters,
+                                            backend.lock_waiters());
+    });
+  }
+  w.eng.run();
+  EXPECT_EQ(backend.size(), 200u);
+}
+
+TEST(SdskvBackend, LevelDbFlushesOnMemtableLimit) {
+  ServiceWorld w;
+  sdskv::LevelDbBackend backend(w.sproc);
+  sym::abt::Runtime rt(w.eng, w.sproc);
+  auto& pool = rt.create_pool("p");
+  rt.create_xstream({&pool});
+  rt.create_ult(pool, [&] {
+    const std::string big(64 * 1024, 'x');
+    for (int i = 0; i < 100; ++i) {  // ~6.4 MB > 4 MB memtable limit
+      backend.put("k" + std::to_string(i), big);
+    }
+    EXPECT_GE(backend.flush_count(), 1u);
+    // Data must survive the flush.
+    std::string v;
+    EXPECT_TRUE(backend.get("k0", &v));
+    EXPECT_EQ(backend.size(), 100u);
+  });
+  w.eng.run();
+}
+
+// ---------------------------------------------------------------------------
+// SDSKV over RPC
+// ---------------------------------------------------------------------------
+
+TEST(Sdskv, EndToEndPutGet) {
+  ServiceWorld w;
+  sdskv::Provider provider(w.server, 1,
+                           sdskv::ProviderConfig{.db_count = 2});
+  sdskv::Client cl(w.client);
+  w.run_client([&] {
+    EXPECT_EQ(cl.put(w.server.addr(), 1, 0, "key", "value"),
+              sdskv::Status::kOk);
+    std::string v;
+    EXPECT_EQ(cl.get(w.server.addr(), 1, 0, "key", &v), sdskv::Status::kOk);
+    EXPECT_EQ(v, "value");
+    EXPECT_EQ(cl.get(w.server.addr(), 1, 1, "key", &v),
+              sdskv::Status::kNotFound);  // other db
+    EXPECT_EQ(cl.get(w.server.addr(), 1, 9, "key", &v),
+              sdskv::Status::kBadDb);
+    std::uint64_t len = 0;
+    EXPECT_EQ(cl.length(w.server.addr(), 1, 0, "key", &len),
+              sdskv::Status::kOk);
+    EXPECT_EQ(len, 5u);
+    EXPECT_EQ(cl.erase(w.server.addr(), 1, 0, "key"), sdskv::Status::kOk);
+    EXPECT_EQ(cl.get(w.server.addr(), 1, 0, "key", &v),
+              sdskv::Status::kNotFound);
+  });
+}
+
+TEST(Sdskv, PutPackedMovesContentViaBulk) {
+  ServiceWorld w;
+  sdskv::Provider provider(w.server, 1, sdskv::ProviderConfig{});
+  sdskv::Client cl(w.client);
+  const auto rdma_before = w.server.hg_class().endpoint().rdma_ops();
+  w.run_client([&] {
+    std::vector<sdskv::KeyValue> kvs;
+    for (int i = 0; i < 256; ++i) {
+      kvs.emplace_back("k" + std::to_string(i), std::string(512, 'p'));
+    }
+    EXPECT_EQ(cl.put_packed(w.server.addr(), 1, 0, std::move(kvs)),
+              sdskv::Status::kOk);
+    std::string v;
+    EXPECT_EQ(cl.get(w.server.addr(), 1, 0, "k17", &v), sdskv::Status::kOk);
+    EXPECT_EQ(v.size(), 512u);
+  });
+  EXPECT_EQ(provider.db(0).size(), 256u);
+  // The content moved through a bulk RDMA pull by the target.
+  EXPECT_GT(w.server.hg_class().endpoint().rdma_ops(), rdma_before);
+  EXPECT_GT(w.server.hg_class().bulk_bytes_total(), 128u * 1024u);
+}
+
+TEST(Sdskv, ListKeyvalsOverRpc) {
+  ServiceWorld w;
+  sdskv::Provider provider(w.server, 1, sdskv::ProviderConfig{});
+  sdskv::Client cl(w.client);
+  w.run_client([&] {
+    for (const char* k : {"alpha", "beta", "gamma"}) {
+      cl.put(w.server.addr(), 1, 0, k, "v");
+    }
+    const auto scan = cl.list_keyvals(w.server.addr(), 1, 0, "alpha", 10);
+    ASSERT_EQ(scan.size(), 2u);
+    EXPECT_EQ(scan[0].first, "beta");
+    EXPECT_EQ(scan[1].first, "gamma");
+  });
+}
+
+// ---------------------------------------------------------------------------
+// BAKE
+// ---------------------------------------------------------------------------
+
+TEST(Bake, CreateWritePersistRead) {
+  ServiceWorld w;
+  bake::Provider provider(w.server, 2);
+  bake::Client cl(w.client);
+  w.run_client([&] {
+    const auto rid = cl.create(w.server.addr(), 2, 1024);
+    EXPECT_GT(rid, 0u);
+    std::vector<std::byte> blob(1024, std::byte{0xAB});
+    EXPECT_EQ(cl.write(w.server.addr(), 2, rid, 0, blob), bake::Status::kOk);
+    EXPECT_EQ(cl.persist(w.server.addr(), 2, rid), bake::Status::kOk);
+    const auto back = cl.read(w.server.addr(), 2, rid, 0, 1024);
+    ASSERT_EQ(back.size(), 1024u);
+    EXPECT_EQ(back[77], std::byte{0xAB});
+    EXPECT_EQ(cl.probe(w.server.addr(), 2), 1u);
+    EXPECT_EQ(cl.persist(w.server.addr(), 2, 999), bake::Status::kNoRegion);
+  });
+  ASSERT_NE(provider.region(1), nullptr);
+  EXPECT_TRUE(provider.region(1)->persisted);
+  EXPECT_EQ(provider.device().bytes_written(), 1024u);
+}
+
+TEST(Bake, CreateWritePersistComposite) {
+  ServiceWorld w;
+  bake::Provider provider(w.server, 2);
+  bake::Client cl(w.client);
+  w.run_client([&] {
+    std::vector<std::byte> blob(64 * 1024, std::byte{0x5A});
+    const auto rid = cl.create_write_persist(w.server.addr(), 2,
+                                             std::move(blob));
+    const auto back = cl.read(w.server.addr(), 2, rid, 1024, 16);
+    ASSERT_EQ(back.size(), 16u);
+    EXPECT_EQ(back[0], std::byte{0x5A});
+  });
+}
+
+TEST(Bake, DeviceSerializesConcurrentPersists) {
+  ServiceWorld w;
+  bake::Provider provider(w.server, 2);
+  bake::Client cl(w.client);
+  sim::TimeNs elapsed = 0;
+  w.run_client([&] {
+    const auto t0 = w.eng.now();
+    std::vector<std::byte> blob(1 << 20, std::byte{1});
+    // Two 1 MiB composite writes: device bandwidth 2 B/ns => >= 1 ms total.
+    cl.create_write_persist(w.server.addr(), 2, blob);
+    cl.create_write_persist(w.server.addr(), 2, blob);
+    elapsed = w.eng.now() - t0;
+  });
+  EXPECT_GE(elapsed, sim::usec(900));
+  EXPECT_EQ(provider.device().bytes_written(), 2u << 20);
+}
+
+// ---------------------------------------------------------------------------
+// Sonata
+// ---------------------------------------------------------------------------
+
+TEST(Sonata, StoreFetchRoundTrip) {
+  ServiceWorld w;
+  sonata::Provider provider(w.server, 3);
+  sonata::Client cl(w.client);
+  w.run_client([&] {
+    cl.create_collection(w.server.addr(), 3, "docs");
+    std::uint64_t id = 99;
+    EXPECT_EQ(cl.store(w.server.addr(), 3, "docs", R"({"a": [1,2,3]})", &id),
+              sonata::Status::kOk);
+    EXPECT_EQ(id, 0u);
+    std::string text;
+    EXPECT_EQ(cl.fetch(w.server.addr(), 3, "docs", id, &text),
+              sonata::Status::kOk);
+    EXPECT_TRUE(sym::json::parse(text) == sym::json::parse(R"({"a":[1,2,3]})"));
+    EXPECT_EQ(cl.fetch(w.server.addr(), 3, "docs", 42, &text),
+              sonata::Status::kNotFound);
+    EXPECT_EQ(cl.store(w.server.addr(), 3, "nope", "{}", &id),
+              sonata::Status::kNoCollection);
+    EXPECT_EQ(cl.store(w.server.addr(), 3, "docs", "{broken", &id),
+              sonata::Status::kBadJson);
+  });
+}
+
+TEST(Sonata, StoreMultiAndFilter) {
+  ServiceWorld w;
+  sonata::Provider provider(w.server, 3);
+  sonata::Client cl(w.client);
+  w.run_client([&] {
+    cl.create_collection(w.server.addr(), 3, "events");
+    std::string arr = "[";
+    for (int i = 0; i < 100; ++i) {
+      if (i != 0) arr += ",";
+      arr += R"({"pt": )" + std::to_string(i) + R"(, "det": "D)" +
+             std::to_string(i % 4) + "\"}";
+    }
+    arr += "]";
+    std::uint32_t stored = 0;
+    EXPECT_EQ(cl.store_multi(w.server.addr(), 3, "events", arr, &stored),
+              sonata::Status::kOk);
+    EXPECT_EQ(stored, 100u);
+    EXPECT_EQ(cl.size(w.server.addr(), 3, "events"), 100u);
+
+    std::vector<std::string> matches;
+    EXPECT_EQ(cl.filter(w.server.addr(), 3, "events",
+                        "$pt >= 90 && $det == \"D2\"", &matches),
+              sonata::Status::kOk);
+    // pt in [90,99] with pt%4==2: 90, 94, 98.
+    EXPECT_EQ(matches.size(), 3u);
+
+    EXPECT_EQ(cl.filter(w.server.addr(), 3, "events", "$$bad((", &matches),
+              sonata::Status::kBadFilter);
+  });
+}
+
+TEST(Sonata, LargeStoreMultiTakesInternalRdmaPath) {
+  ServiceWorld w;
+  sonata::Provider provider(w.server, 3);
+  sonata::Client cl(w.client);
+  w.run_client([&] {
+    cl.create_collection(w.server.addr(), 3, "big");
+    std::string arr = "[";
+    for (int i = 0; i < 500; ++i) {
+      if (i != 0) arr += ",";
+      arr += R"({"payload": ")" + std::string(100, 'x') + "\"}";
+    }
+    arr += "]";
+    ASSERT_GT(arr.size(), 4096u);  // beyond the eager limit
+    std::uint32_t stored = 0;
+    cl.store_multi(w.server.addr(), 3, "big", arr, &stored);
+    EXPECT_EQ(stored, 500u);
+  });
+  EXPECT_GE(w.client.hg_class().eager_overflows(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Mobject
+// ---------------------------------------------------------------------------
+
+TEST(Mobject, WriteThenReadObject) {
+  ServiceWorld w(8);
+  mobject::Server srv(w.server);
+  mobject::Client cl(w.client);
+  w.run_client([&] {
+    std::vector<std::byte> data(4096, std::byte{0x42});
+    const auto seq =
+        cl.write_op(w.server.addr(), 1, "obj-1", std::move(data));
+    EXPECT_GE(seq, 1u);
+    const auto back = cl.read_op(w.server.addr(), 1, "obj-1");
+    ASSERT_EQ(back.size(), 4096u);
+    EXPECT_EQ(back[123], std::byte{0x42});
+  });
+  EXPECT_EQ(srv.write_ops(), 1u);
+  EXPECT_EQ(srv.read_ops(), 1u);
+}
+
+TEST(Mobject, WriteOpFansOutIntoTwelveChildCalls) {
+  ServiceWorld w(8);
+  mobject::Server srv(w.server);
+  mobject::Client cl(w.client);
+  w.run_client([&] {
+    cl.write_op(w.server.addr(), 1, "obj-x", std::vector<std::byte>(256));
+  });
+  // Count depth-2 target-side callpaths under mobject_write_op.
+  const auto root = sym::prof::hash16("mobject_write_op");
+  std::uint64_t child_calls = 0;
+  for (const auto& [key, stats] : w.server.profile().entries()) {
+    if (key.side != sym::prof::Side::kTarget) continue;
+    if (sym::prof::depth(key.breadcrumb) != 2) continue;
+    if (static_cast<std::uint16_t>((key.breadcrumb >> 16) & 0xFFFF) != root) {
+      continue;
+    }
+    child_calls += stats.at(sym::prof::Interval::kTargetExec).count;
+  }
+  EXPECT_EQ(child_calls, 12u);  // the paper's Fig. 5 structure
+}
+
+// ---------------------------------------------------------------------------
+// HEPnOS
+// ---------------------------------------------------------------------------
+
+TEST(Hepnos, EventKeyEncodesHierarchy) {
+  hepnos::EventId a{.dataset = "NOvA", .run = 1, .subrun = 2, .event = 3};
+  hepnos::EventId b{.dataset = "NOvA", .run = 1, .subrun = 2, .event = 4};
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_EQ(a.key().substr(0, 4), "NOvA");
+  // Keys of the same subrun sort adjacently.
+  EXPECT_LT(a.key(), b.key());
+}
+
+TEST(Hepnos, StoreAndLoadEvent) {
+  ServiceWorld w;
+  hepnos::Server srv(w.server, hepnos::ServerConfig{.databases = 4});
+  hepnos::DataStore store(w.client, {w.server.addr()}, 1, 4);
+  w.run_client([&] {
+    hepnos::EventId id{.dataset = "ds", .run = 7, .subrun = 0, .event = 11};
+    store.store_event(id, "payload-bytes");
+    std::string back;
+    EXPECT_TRUE(store.load_event(id, &back));
+    EXPECT_EQ(back, "payload-bytes");
+    hepnos::EventId missing{.dataset = "ds", .run = 9, .subrun = 9,
+                            .event = 9};
+    EXPECT_FALSE(store.load_event(missing, &back));
+  });
+  EXPECT_EQ(srv.events_stored(), 1u);
+}
+
+TEST(Hepnos, WriteBatchGroupsByDatabase) {
+  ServiceWorld w;
+  hepnos::Server srv(w.server, hepnos::ServerConfig{.databases = 4});
+  hepnos::DataStore store(w.client, {w.server.addr()}, 1, 4);
+  const auto rpcs_before = w.client.hg_class().num_rpcs_invoked();
+  w.run_client([&] {
+    hepnos::DataStore::WriteBatch batch(store);
+    for (std::uint64_t e = 0; e < 64; ++e) {
+      batch.store(hepnos::EventId{.dataset = "ds", .run = 0, .subrun = 0,
+                                  .event = e},
+                  std::string(128, 'e'));
+    }
+    EXPECT_EQ(batch.pending(), 64u);
+    batch.flush();
+    EXPECT_EQ(batch.pending(), 0u);
+  });
+  EXPECT_EQ(srv.events_stored(), 64u);
+  // At most one put_packed per database: <= 4 RPCs for 64 events.
+  EXPECT_LE(w.client.hg_class().num_rpcs_invoked() - rpcs_before, 4u);
+}
+
+TEST(Hepnos, DataLoaderStoresEveryEvent) {
+  ServiceWorld w;
+  hepnos::Server srv(w.server, hepnos::ServerConfig{.databases = 4});
+  hepnos::DataStore store(w.client, {w.server.addr()}, 1, 4);
+  hepnos::DataLoaderStats stats;
+  w.run_client([&] {
+    hepnos::EventFileModel model;
+    model.events_per_file = 200;
+    model.payload_bytes = 64;
+    stats = hepnos::run_data_loader(store, model, /*files=*/2,
+                                    /*batch_size=*/50, "ds", 0);
+  });
+  EXPECT_EQ(stats.events, 400u);
+  EXPECT_EQ(srv.events_stored(), 400u);
+  EXPECT_GT(stats.rpcs, 0u);
+  EXPECT_GT(stats.elapsed, 0u);
+}
+
+TEST(Hepnos, EventsDistributeAcrossDatabases) {
+  ServiceWorld w;
+  hepnos::Server srv(w.server, hepnos::ServerConfig{.databases = 8});
+  hepnos::DataStore store(w.client, {w.server.addr()}, 1, 8);
+  w.run_client([&] {
+    hepnos::DataStore::WriteBatch batch(store);
+    for (std::uint64_t e = 0; e < 512; ++e) {
+      batch.store(hepnos::EventId{.dataset = "ds", .run = 0, .subrun = 0,
+                                  .event = e},
+                  "v");
+    }
+    batch.flush();
+  });
+  // Every database should have received a reasonable share.
+  std::size_t nonempty = 0;
+  for (std::uint32_t d = 0; d < 8; ++d) {
+    if (srv.kv().db(d).size() > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 8u);
+}

@@ -1,0 +1,385 @@
+// Tests for the SYMBIOSYS analysis layer: breadcrumb algebra, profile
+// summary, trace stitching + clock-skew correction, Zipkin export and the
+// CSV exporters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "symbiosys/analysis.hpp"
+#include "symbiosys/breadcrumb.hpp"
+#include "symbiosys/export.hpp"
+#include "symbiosys/records.hpp"
+#include "symbiosys/zipkin.hpp"
+
+namespace prof = sym::prof;
+namespace sim = sym::sim;
+
+// ---------------------------------------------------------------------------
+// Breadcrumbs
+// ---------------------------------------------------------------------------
+
+TEST(Breadcrumb, Hash16NeverZero) {
+  // 0 is reserved for "no ancestry".
+  for (const char* name : {"a", "b", "some_rpc", "x_rpc", ""}) {
+    EXPECT_NE(prof::hash16(name), 0) << name;
+  }
+}
+
+TEST(Breadcrumb, ExtendShiftsAndOrs) {
+  const auto a = prof::hash16("outer");
+  const auto b = prof::hash16("inner");
+  const auto bc = prof::extend(a, b);
+  EXPECT_EQ(bc, (static_cast<std::uint64_t>(a) << 16) | b);
+  EXPECT_EQ(prof::leaf_of(bc), b);
+  EXPECT_EQ(prof::depth(bc), 2);
+}
+
+TEST(Breadcrumb, DepthCapsAtFourLevels) {
+  prof::Breadcrumb bc = 0;
+  const std::uint16_t leaves[5] = {prof::hash16("a"), prof::hash16("b"),
+                                   prof::hash16("c"), prof::hash16("d"),
+                                   prof::hash16("e")};
+  for (int i = 0; i < 4; ++i) bc = prof::extend(bc, leaves[i]);
+  EXPECT_EQ(prof::depth(bc), 4);
+  const auto parts = prof::components(bc);
+  ASSERT_EQ(parts.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(parts[i], leaves[i]);
+  // A fifth level pushes the oldest ancestor out of the 64-bit window.
+  bc = prof::extend(bc, leaves[4]);
+  EXPECT_EQ(prof::depth(bc), 4);
+  EXPECT_EQ(prof::components(bc)[0], leaves[1]);
+  EXPECT_EQ(prof::leaf_of(bc), leaves[4]);
+}
+
+TEST(Breadcrumb, NameRegistryFormatting) {
+  prof::NameRegistry reg;
+  reg.register_name("read_op");
+  reg.register_name("list_rpc");
+  const auto bc =
+      prof::extend(prof::hash16("read_op"), prof::hash16("list_rpc"));
+  EXPECT_EQ(reg.format(bc), "read_op => list_rpc");
+  EXPECT_EQ(reg.format(0), "<root>");
+  // Unknown hashes render as placeholders, not crashes.
+  EXPECT_NE(reg.format(prof::hash16("unknown_rpc")).find("<0x"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// IntervalStats / ProfileStore
+// ---------------------------------------------------------------------------
+
+TEST(IntervalStats, AccumulatesMinMaxMeanSum) {
+  prof::IntervalStats s;
+  s.add(10);
+  s.add(30);
+  s.add(20);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.sum_ns, 60);
+  EXPECT_DOUBLE_EQ(s.min_ns, 10);
+  EXPECT_DOUBLE_EQ(s.max_ns, 30);
+  EXPECT_DOUBLE_EQ(s.mean_ns(), 20);
+
+  prof::IntervalStats t;
+  t.add(5);
+  s.merge(t);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.min_ns, 5);
+  prof::IntervalStats empty;
+  s.merge(empty);
+  EXPECT_EQ(s.count, 4u);
+}
+
+TEST(ProfileSummary, RanksByCumulativeLatencyAndMergesEntities) {
+  prof::NameRegistry::global().register_name("hot_rpc");
+  prof::NameRegistry::global().register_name("cold_rpc");
+  prof::ProfileStore a, b;
+  const prof::Breadcrumb hot = prof::hash16("hot_rpc");
+  const prof::Breadcrumb cold = prof::hash16("cold_rpc");
+  // Two origin entities record the hot path; one records the cold path.
+  a.record({hot, prof::Side::kOrigin, 1, 9}, prof::Interval::kOriginExec,
+           500'000);
+  b.record({hot, prof::Side::kOrigin, 2, 9}, prof::Interval::kOriginExec,
+           400'000);
+  b.record({cold, prof::Side::kOrigin, 2, 9}, prof::Interval::kOriginExec,
+           100'000);
+  // Target side of the hot path.
+  a.record({hot, prof::Side::kTarget, 9, 1}, prof::Interval::kTargetExec,
+           300'000);
+
+  const auto summary = prof::ProfileSummary::build({&a, &b});
+  ASSERT_EQ(summary.callpaths.size(), 2u);
+  EXPECT_EQ(summary.callpaths[0].breadcrumb, hot);
+  EXPECT_EQ(summary.callpaths[0].call_count, 2u);
+  EXPECT_DOUBLE_EQ(summary.callpaths[0].cumulative_ns, 900'000);
+  EXPECT_EQ(summary.callpaths[0].per_origin_ns.size(), 2u);
+  EXPECT_EQ(summary.callpaths[0].per_target_ns.size(), 1u);
+  EXPECT_DOUBLE_EQ(summary.total_ns, 1'000'000);
+
+  const auto* found = summary.find_by_leaf("cold_rpc");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->breadcrumb, cold);
+  EXPECT_EQ(summary.find_by_leaf("never_registered_rpc_xyz"), nullptr);
+
+  const auto text = summary.format(5);
+  EXPECT_NE(text.find("hot_rpc"), std::string::npos);
+}
+
+TEST(ProfileSummary, UnaccountedIsEnvelopeMinusComponents) {
+  prof::ProfileStore a;
+  const prof::Breadcrumb bc = prof::hash16("u_rpc");
+  a.record({bc, prof::Side::kOrigin, 1, 2}, prof::Interval::kOriginExec,
+           1000);
+  a.record({bc, prof::Side::kOrigin, 1, 2}, prof::Interval::kInputSer, 100);
+  a.record({bc, prof::Side::kTarget, 2, 1}, prof::Interval::kTargetExec, 600);
+  const auto summary = prof::ProfileSummary::build({&a});
+  ASSERT_EQ(summary.callpaths.size(), 1u);
+  EXPECT_DOUBLE_EQ(summary.callpaths[0].unaccounted_ns(), 300);
+}
+
+// ---------------------------------------------------------------------------
+// Trace stitching & skew correction
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Emit the four events of one span with the given *true* times, applying a
+/// per-endpoint clock offset to what gets recorded.
+void emit_span(prof::TraceStore& origin_store, prof::TraceStore& target_store,
+               std::uint64_t rid, prof::Breadcrumb bc, std::uint32_t order,
+               std::uint32_t origin_ep, std::uint32_t target_ep,
+               sim::TimeNs t1, sim::TimeNs t5, sim::TimeNs t8,
+               sim::TimeNs t14, std::int64_t origin_skew,
+               std::int64_t target_skew, std::uint32_t blocked = 0) {
+  auto mk = [&](prof::TraceEventKind kind, std::uint32_t ord, sim::TimeNs t,
+                std::uint32_t self, std::uint32_t peer, std::int64_t skew) {
+    prof::TraceEvent ev;
+    ev.request_id = rid;
+    ev.order = ord;
+    ev.kind = kind;
+    ev.breadcrumb = bc;
+    ev.self_ep = self;
+    ev.peer_ep = peer;
+    ev.local_ts = static_cast<sim::TimeNs>(static_cast<std::int64_t>(t) +
+                                           skew);
+    ev.lamport = ord + 1;
+    ev.blocked_ults = blocked;
+    return ev;
+  };
+  origin_store.append(mk(prof::TraceEventKind::kOriginStart, order, t1,
+                         origin_ep, target_ep, origin_skew));
+  target_store.append(mk(prof::TraceEventKind::kTargetStart, order + 1, t5,
+                         target_ep, origin_ep, target_skew));
+  target_store.append(mk(prof::TraceEventKind::kTargetEnd, order + 2, t8,
+                         target_ep, origin_ep, target_skew));
+  origin_store.append(mk(prof::TraceEventKind::kOriginEnd, order + 3, t14,
+                         origin_ep, target_ep, origin_skew));
+}
+
+}  // namespace
+
+TEST(TraceSummary, StitchesFourEventsIntoOneSpan) {
+  prof::TraceStore o, t;
+  emit_span(o, t, 0xABC, prof::hash16("rpc"), 0, 1, 2, 1000, 2000, 3000,
+            4000, 0, 0, 7);
+  const auto summary = prof::TraceSummary::build({&o, &t});
+  ASSERT_EQ(summary.requests.size(), 1u);
+  ASSERT_EQ(summary.requests[0].spans.size(), 1u);
+  const auto& sp = summary.requests[0].spans[0];
+  EXPECT_EQ(sp.origin_ep, 1u);
+  EXPECT_EQ(sp.target_ep, 2u);
+  EXPECT_EQ(sp.origin_start, 1000u);
+  EXPECT_EQ(sp.origin_end, 4000u);
+  EXPECT_EQ(sp.duration(), 3000u);
+  EXPECT_EQ(sp.target_blocked_ults, 7u);
+  EXPECT_EQ(summary.total_events, 4u);
+  EXPECT_NE(summary.find(0xABC), nullptr);
+  EXPECT_EQ(summary.find(0xDEF), nullptr);
+}
+
+TEST(TraceSummary, RepeatedCallsOnSamePathStaySeparate) {
+  // Two sdskv_put calls inside the same request share a breadcrumb but use
+  // distinct order bases — they must become two spans.
+  prof::TraceStore o, t;
+  const auto bc = prof::hash16("put");
+  emit_span(o, t, 1, bc, 0, 1, 2, 100, 200, 300, 400, 0, 0);
+  emit_span(o, t, 1, bc, 4, 1, 2, 500, 600, 700, 800, 0, 0);
+  const auto summary = prof::TraceSummary::build({&o, &t});
+  ASSERT_EQ(summary.requests.size(), 1u);
+  EXPECT_EQ(summary.requests[0].spans.size(), 2u);
+}
+
+TEST(TraceSummary, CorrectsClockSkew) {
+  // Target clock runs 500us ahead; symmetric network delay 10us each way.
+  prof::TraceStore o, t;
+  const std::int64_t skew = 500'000;
+  for (int i = 0; i < 8; ++i) {
+    const sim::TimeNs base = 1'000'000 + 100'000 * i;
+    emit_span(o, t, 100 + i, prof::hash16("rpc"), 0, 1, 2,
+              base, base + 10'000, base + 50'000, base + 60'000, 0, skew);
+  }
+  const auto summary = prof::TraceSummary::build({&o, &t});
+  // The estimated offset of ep2 relative to ep1 should be ~= skew.
+  ASSERT_TRUE(summary.clock_offset_ns.count(2));
+  EXPECT_NEAR(summary.clock_offset_ns.at(2), 500'000, 1'000);
+  // Corrected span timestamps must be causally ordered.
+  for (const auto& rt : summary.requests) {
+    for (const auto& sp : rt.spans) {
+      EXPECT_LE(sp.origin_start, sp.target_start);
+      EXPECT_LE(sp.target_start, sp.target_end);
+      EXPECT_LE(sp.target_end, sp.origin_end);
+    }
+  }
+}
+
+TEST(TraceSummary, FormatRendersGantt) {
+  prof::NameRegistry::global().register_name("root_op");
+  prof::TraceStore o, t;
+  emit_span(o, t, 55, prof::hash16("root_op"), 0, 1, 2, 0, 10, 20, 30, 0, 0);
+  const auto summary = prof::TraceSummary::build({&o, &t});
+  const auto text = summary.format_request(summary.requests[0]);
+  EXPECT_NE(text.find("root_op"), std::string::npos);
+  EXPECT_NE(text.find("ep1 -> ep2"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Zipkin export
+// ---------------------------------------------------------------------------
+
+TEST(Zipkin, EmitsWellFormedSpansWithParents) {
+  prof::NameRegistry::global().register_name("parent_op");
+  prof::NameRegistry::global().register_name("child_op");
+  prof::TraceStore o, t;
+  const auto parent_bc = prof::hash16("parent_op");
+  const auto child_bc =
+      prof::extend(parent_bc, prof::hash16("child_op"));
+  emit_span(o, t, 7, parent_bc, 0, 1, 2, 0, 100, 900, 1000, 0, 0);
+  emit_span(o, t, 7, child_bc, 1, 2, 3, 200, 300, 400, 500, 0, 0);
+  const auto summary = prof::TraceSummary::build({&o, &t});
+  const auto json = prof::to_zipkin_json(summary);
+
+  EXPECT_NE(json.find("\"traceId\""), std::string::npos);
+  EXPECT_NE(json.find("\"parentId\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"child_op\""), std::string::npos);
+  EXPECT_NE(json.find("\"localEndpoint\""), std::string::npos);
+  // Both spans present.
+  EXPECT_NE(json.find("parent_op"), std::string::npos);
+  // Root span has no parentId before its id... at least the array parses as
+  // bracketed JSON.
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+}
+
+TEST(Zipkin, RootSpanHasNoParent) {
+  prof::TraceStore o, t;
+  emit_span(o, t, 8, prof::hash16("solo_op"), 0, 1, 2, 0, 10, 20, 30, 0, 0);
+  const auto summary = prof::TraceSummary::build({&o, &t});
+  const auto json = prof::to_zipkin_json(*summary.find(8));
+  EXPECT_EQ(json.find("parentId"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSV export / import
+// ---------------------------------------------------------------------------
+
+TEST(ExportCsv, ProfileRoundTrip) {
+  prof::ProfileStore store;
+  const prof::CallpathKey key{prof::hash16("rt_rpc"), prof::Side::kOrigin, 3,
+                              4};
+  store.record(key, prof::Interval::kOriginExec, 1234.5);
+  store.record(key, prof::Interval::kOriginExec, 5678.5);
+  store.record(key, prof::Interval::kInputSer, 42.0);
+
+  std::stringstream ss;
+  prof::write_profile_csv(ss, store);
+  const auto back = prof::read_profile_csv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  const auto& stats = back.entries().begin()->second;
+  EXPECT_EQ(stats.at(prof::Interval::kOriginExec).count, 2u);
+  EXPECT_DOUBLE_EQ(stats.at(prof::Interval::kOriginExec).sum_ns, 6913.0);
+  EXPECT_DOUBLE_EQ(stats.at(prof::Interval::kOriginExec).min_ns, 1234.5);
+  EXPECT_DOUBLE_EQ(stats.at(prof::Interval::kOriginExec).max_ns, 5678.5);
+  EXPECT_EQ(stats.at(prof::Interval::kInputSer).count, 1u);
+}
+
+TEST(ExportCsv, TraceRoundTrip) {
+  prof::TraceStore store;
+  prof::TraceEvent ev;
+  ev.request_id = 99;
+  ev.order = 3;
+  ev.kind = prof::TraceEventKind::kTargetEnd;
+  ev.breadcrumb = 0xAABB;
+  ev.self_ep = 5;
+  ev.peer_ep = 6;
+  ev.local_ts = 123456789;
+  ev.lamport = 77;
+  ev.blocked_ults = 4;
+  ev.runnable_ults = 2;
+  ev.rss_bytes = 1 << 20;
+  ev.cpu_util = 0.5f;
+  ev.completion_queue_size = 3;
+  ev.num_ofi_events_read = 16;
+  ev.num_posted_handles = 8;
+  store.append(ev);
+
+  std::stringstream ss;
+  prof::write_trace_csv(ss, store);
+  const auto back = prof::read_trace_csv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  const auto& b = back.events()[0];
+  EXPECT_EQ(b.request_id, 99u);
+  EXPECT_EQ(b.kind, prof::TraceEventKind::kTargetEnd);
+  EXPECT_EQ(b.breadcrumb, 0xAABBu);
+  EXPECT_EQ(b.local_ts, 123456789u);
+  EXPECT_EQ(b.lamport, 77u);
+  EXPECT_EQ(b.blocked_ults, 4u);
+  EXPECT_FLOAT_EQ(b.num_ofi_events_read, 16.0f);
+}
+
+TEST(ExportCsv, SysStatsRoundTrip) {
+  prof::SysStatStore store;
+  prof::SysStat s;
+  s.local_ts = 42;
+  s.rss_bytes = 4096;
+  s.cpu_util = 0.25f;
+  s.blocked_ults = 7;
+  s.runnable_ults = 3;
+  s.completion_queue_size = 11;
+  s.num_posted_handles = 13;
+  store.append(s);
+  std::stringstream ss;
+  prof::write_sysstats_csv(ss, store);
+  const auto back = prof::read_sysstats_csv(ss);
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back.samples()[0].blocked_ults, 7u);
+  EXPECT_FLOAT_EQ(back.samples()[0].completion_queue_size, 11.0f);
+}
+
+TEST(SysStatsSummary, AggregatesPerProcess) {
+  prof::SysStatStore a;
+  for (int i = 0; i < 4; ++i) {
+    prof::SysStat s;
+    s.rss_bytes = (8 + i) << 20;
+    s.cpu_util = 0.5f;
+    s.blocked_ults = static_cast<std::uint32_t>(i);
+    a.append(s);
+  }
+  const auto summary = prof::SysStatsSummary::build({{"proc-a", &a}});
+  ASSERT_EQ(summary.per_process.size(), 1u);
+  EXPECT_EQ(summary.per_process[0].samples, 4u);
+  EXPECT_NEAR(summary.per_process[0].mean_rss_mb, 9.5, 0.01);
+  EXPECT_DOUBLE_EQ(summary.per_process[0].max_blocked, 3);
+  EXPECT_NE(summary.format().find("proc-a"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Enum naming used in reports
+// ---------------------------------------------------------------------------
+
+TEST(Records, EnumNames) {
+  EXPECT_STREQ(prof::to_string(prof::Level::kOff), "Baseline");
+  EXPECT_STREQ(prof::to_string(prof::Level::kFull), "Full Support");
+  EXPECT_STREQ(prof::to_string(prof::Interval::kHandlerWait),
+               "target_ult_handler_time");
+  EXPECT_STREQ(prof::to_string(prof::TraceEventKind::kOriginStart),
+               "origin_start");
+}
