@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_policy_engine"
+  "../bench/ablation_policy_engine.pdb"
+  "CMakeFiles/ablation_policy_engine.dir/ablation_policy_engine.cpp.o"
+  "CMakeFiles/ablation_policy_engine.dir/ablation_policy_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_policy_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

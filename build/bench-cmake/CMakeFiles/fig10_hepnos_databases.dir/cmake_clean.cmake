@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_hepnos_databases"
+  "../bench/fig10_hepnos_databases.pdb"
+  "CMakeFiles/fig10_hepnos_databases.dir/fig10_hepnos_databases.cpp.o"
+  "CMakeFiles/fig10_hepnos_databases.dir/fig10_hepnos_databases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_hepnos_databases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

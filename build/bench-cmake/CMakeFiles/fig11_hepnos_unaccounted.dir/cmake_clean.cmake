@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_hepnos_unaccounted"
+  "../bench/fig11_hepnos_unaccounted.pdb"
+  "CMakeFiles/fig11_hepnos_unaccounted.dir/fig11_hepnos_unaccounted.cpp.o"
+  "CMakeFiles/fig11_hepnos_unaccounted.dir/fig11_hepnos_unaccounted.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_hepnos_unaccounted.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_hepnos_ofi_events"
+  "../bench/fig12_hepnos_ofi_events.pdb"
+  "CMakeFiles/fig12_hepnos_ofi_events.dir/fig12_hepnos_ofi_events.cpp.o"
+  "CMakeFiles/fig12_hepnos_ofi_events.dir/fig12_hepnos_ofi_events.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_hepnos_ofi_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

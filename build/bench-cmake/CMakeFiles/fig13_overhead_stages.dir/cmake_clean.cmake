@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_overhead_stages"
+  "../bench/fig13_overhead_stages.pdb"
+  "CMakeFiles/fig13_overhead_stages.dir/fig13_overhead_stages.cpp.o"
+  "CMakeFiles/fig13_overhead_stages.dir/fig13_overhead_stages.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_overhead_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

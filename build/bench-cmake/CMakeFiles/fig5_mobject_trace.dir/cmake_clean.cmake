@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_mobject_trace"
+  "../bench/fig5_mobject_trace.pdb"
+  "CMakeFiles/fig5_mobject_trace.dir/fig5_mobject_trace.cpp.o"
+  "CMakeFiles/fig5_mobject_trace.dir/fig5_mobject_trace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mobject_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

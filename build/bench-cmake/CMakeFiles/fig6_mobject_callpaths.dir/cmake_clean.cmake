@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_mobject_callpaths"
+  "../bench/fig6_mobject_callpaths.pdb"
+  "CMakeFiles/fig6_mobject_callpaths.dir/fig6_mobject_callpaths.cpp.o"
+  "CMakeFiles/fig6_mobject_callpaths.dir/fig6_mobject_callpaths.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_mobject_callpaths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

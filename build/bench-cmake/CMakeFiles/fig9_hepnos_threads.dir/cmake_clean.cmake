@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_hepnos_threads"
+  "../bench/fig9_hepnos_threads.pdb"
+  "CMakeFiles/fig9_hepnos_threads.dir/fig9_hepnos_threads.cpp.o"
+  "CMakeFiles/fig9_hepnos_threads.dir/fig9_hepnos_threads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hepnos_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

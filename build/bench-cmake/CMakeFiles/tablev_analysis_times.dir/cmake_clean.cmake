@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tablev_analysis_times"
+  "../bench/tablev_analysis_times.pdb"
+  "CMakeFiles/tablev_analysis_times.dir/tablev_analysis_times.cpp.o"
+  "CMakeFiles/tablev_analysis_times.dir/tablev_analysis_times.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablev_analysis_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

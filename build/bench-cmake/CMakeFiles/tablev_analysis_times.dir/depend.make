@@ -1,0 +1,2 @@
+# Empty dependencies file for tablev_analysis_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_perf_data.dir/analyze_perf_data.cpp.o"
+  "CMakeFiles/analyze_perf_data.dir/analyze_perf_data.cpp.o.d"
+  "analyze_perf_data"
+  "analyze_perf_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_perf_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

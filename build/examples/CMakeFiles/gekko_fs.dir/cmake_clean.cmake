@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gekko_fs.dir/gekko_fs.cpp.o"
+  "CMakeFiles/gekko_fs.dir/gekko_fs.cpp.o.d"
+  "gekko_fs"
+  "gekko_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gekko_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

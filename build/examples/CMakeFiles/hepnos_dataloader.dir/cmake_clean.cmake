@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepnos_dataloader.dir/hepnos_dataloader.cpp.o"
+  "CMakeFiles/hepnos_dataloader.dir/hepnos_dataloader.cpp.o.d"
+  "hepnos_dataloader"
+  "hepnos_dataloader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepnos_dataloader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobject_ior.dir/mobject_ior.cpp.o"
+  "CMakeFiles/mobject_ior.dir/mobject_ior.cpp.o.d"
+  "mobject_ior"
+  "mobject_ior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobject_ior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobject_ior.
+# This may be replaced when dependencies are built.

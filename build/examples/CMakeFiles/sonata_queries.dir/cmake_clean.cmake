@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sonata_queries.dir/sonata_queries.cpp.o"
+  "CMakeFiles/sonata_queries.dir/sonata_queries.cpp.o.d"
+  "sonata_queries"
+  "sonata_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sonata_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/argolite/runtime.cpp" "src/argolite/CMakeFiles/argolite.dir/runtime.cpp.o" "gcc" "src/argolite/CMakeFiles/argolite.dir/runtime.cpp.o.d"
+  "/root/repo/src/argolite/sync.cpp" "src/argolite/CMakeFiles/argolite.dir/sync.cpp.o" "gcc" "src/argolite/CMakeFiles/argolite.dir/sync.cpp.o.d"
+  "/root/repo/src/argolite/xstream.cpp" "src/argolite/CMakeFiles/argolite.dir/xstream.cpp.o" "gcc" "src/argolite/CMakeFiles/argolite.dir/xstream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

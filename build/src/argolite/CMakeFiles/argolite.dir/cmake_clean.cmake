@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/argolite.dir/runtime.cpp.o"
+  "CMakeFiles/argolite.dir/runtime.cpp.o.d"
+  "CMakeFiles/argolite.dir/sync.cpp.o"
+  "CMakeFiles/argolite.dir/sync.cpp.o.d"
+  "CMakeFiles/argolite.dir/xstream.cpp.o"
+  "CMakeFiles/argolite.dir/xstream.cpp.o.d"
+  "libargolite.a"
+  "libargolite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/argolite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

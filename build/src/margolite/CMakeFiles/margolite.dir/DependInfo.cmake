@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/margolite/instance.cpp" "src/margolite/CMakeFiles/margolite.dir/instance.cpp.o" "gcc" "src/margolite/CMakeFiles/margolite.dir/instance.cpp.o.d"
+  "/root/repo/src/margolite/policy.cpp" "src/margolite/CMakeFiles/margolite.dir/policy.cpp.o" "gcc" "src/margolite/CMakeFiles/margolite.dir/policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/argolite/CMakeFiles/argolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sofi/CMakeFiles/sofi.dir/DependInfo.cmake"
+  "/root/repo/build/src/merclite/CMakeFiles/merclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbiosys/CMakeFiles/symbiosys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/margolite.dir/instance.cpp.o"
+  "CMakeFiles/margolite.dir/instance.cpp.o.d"
+  "CMakeFiles/margolite.dir/policy.cpp.o"
+  "CMakeFiles/margolite.dir/policy.cpp.o.d"
+  "libmargolite.a"
+  "libmargolite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/margolite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

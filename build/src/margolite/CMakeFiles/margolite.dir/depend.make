@@ -1,0 +1,2 @@
+# Empty dependencies file for margolite.
+# This may be replaced when dependencies are built.

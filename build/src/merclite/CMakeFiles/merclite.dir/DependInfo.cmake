@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/merclite/core.cpp" "src/merclite/CMakeFiles/merclite.dir/core.cpp.o" "gcc" "src/merclite/CMakeFiles/merclite.dir/core.cpp.o.d"
+  "/root/repo/src/merclite/pvar.cpp" "src/merclite/CMakeFiles/merclite.dir/pvar.cpp.o" "gcc" "src/merclite/CMakeFiles/merclite.dir/pvar.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/argolite/CMakeFiles/argolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sofi/CMakeFiles/sofi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/merclite.dir/core.cpp.o"
+  "CMakeFiles/merclite.dir/core.cpp.o.d"
+  "CMakeFiles/merclite.dir/pvar.cpp.o"
+  "CMakeFiles/merclite.dir/pvar.cpp.o.d"
+  "libmerclite.a"
+  "libmerclite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/merclite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

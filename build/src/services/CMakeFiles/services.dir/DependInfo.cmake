@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/services/bake/bake.cpp" "src/services/CMakeFiles/services.dir/bake/bake.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/bake/bake.cpp.o.d"
+  "/root/repo/src/services/flamestore/flamestore.cpp" "src/services/CMakeFiles/services.dir/flamestore/flamestore.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/flamestore/flamestore.cpp.o.d"
+  "/root/repo/src/services/gekko/gekko.cpp" "src/services/CMakeFiles/services.dir/gekko/gekko.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/gekko/gekko.cpp.o.d"
+  "/root/repo/src/services/hepnos/hepnos.cpp" "src/services/CMakeFiles/services.dir/hepnos/hepnos.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/hepnos/hepnos.cpp.o.d"
+  "/root/repo/src/services/mobject/mobject.cpp" "src/services/CMakeFiles/services.dir/mobject/mobject.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/mobject/mobject.cpp.o.d"
+  "/root/repo/src/services/remi/remi.cpp" "src/services/CMakeFiles/services.dir/remi/remi.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/remi/remi.cpp.o.d"
+  "/root/repo/src/services/sdskv/backend.cpp" "src/services/CMakeFiles/services.dir/sdskv/backend.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/sdskv/backend.cpp.o.d"
+  "/root/repo/src/services/sdskv/sdskv.cpp" "src/services/CMakeFiles/services.dir/sdskv/sdskv.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/sdskv/sdskv.cpp.o.d"
+  "/root/repo/src/services/sonata/json.cpp" "src/services/CMakeFiles/services.dir/sonata/json.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/sonata/json.cpp.o.d"
+  "/root/repo/src/services/sonata/jx9lite.cpp" "src/services/CMakeFiles/services.dir/sonata/jx9lite.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/sonata/jx9lite.cpp.o.d"
+  "/root/repo/src/services/sonata/sonata.cpp" "src/services/CMakeFiles/services.dir/sonata/sonata.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/sonata/sonata.cpp.o.d"
+  "/root/repo/src/services/ssg/ssg.cpp" "src/services/CMakeFiles/services.dir/ssg/ssg.cpp.o" "gcc" "src/services/CMakeFiles/services.dir/ssg/ssg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/margolite/CMakeFiles/margolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/merclite/CMakeFiles/merclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sofi/CMakeFiles/sofi.dir/DependInfo.cmake"
+  "/root/repo/build/src/argolite/CMakeFiles/argolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbiosys/CMakeFiles/symbiosys.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

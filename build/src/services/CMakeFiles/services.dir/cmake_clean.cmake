@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/services.dir/bake/bake.cpp.o"
+  "CMakeFiles/services.dir/bake/bake.cpp.o.d"
+  "CMakeFiles/services.dir/flamestore/flamestore.cpp.o"
+  "CMakeFiles/services.dir/flamestore/flamestore.cpp.o.d"
+  "CMakeFiles/services.dir/gekko/gekko.cpp.o"
+  "CMakeFiles/services.dir/gekko/gekko.cpp.o.d"
+  "CMakeFiles/services.dir/hepnos/hepnos.cpp.o"
+  "CMakeFiles/services.dir/hepnos/hepnos.cpp.o.d"
+  "CMakeFiles/services.dir/mobject/mobject.cpp.o"
+  "CMakeFiles/services.dir/mobject/mobject.cpp.o.d"
+  "CMakeFiles/services.dir/remi/remi.cpp.o"
+  "CMakeFiles/services.dir/remi/remi.cpp.o.d"
+  "CMakeFiles/services.dir/sdskv/backend.cpp.o"
+  "CMakeFiles/services.dir/sdskv/backend.cpp.o.d"
+  "CMakeFiles/services.dir/sdskv/sdskv.cpp.o"
+  "CMakeFiles/services.dir/sdskv/sdskv.cpp.o.d"
+  "CMakeFiles/services.dir/sonata/json.cpp.o"
+  "CMakeFiles/services.dir/sonata/json.cpp.o.d"
+  "CMakeFiles/services.dir/sonata/jx9lite.cpp.o"
+  "CMakeFiles/services.dir/sonata/jx9lite.cpp.o.d"
+  "CMakeFiles/services.dir/sonata/sonata.cpp.o"
+  "CMakeFiles/services.dir/sonata/sonata.cpp.o.d"
+  "CMakeFiles/services.dir/ssg/ssg.cpp.o"
+  "CMakeFiles/services.dir/ssg/ssg.cpp.o.d"
+  "libservices.a"
+  "libservices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/services.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simkit/cluster.cpp" "src/simkit/CMakeFiles/simkit.dir/cluster.cpp.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/cluster.cpp.o.d"
+  "/root/repo/src/simkit/engine.cpp" "src/simkit/CMakeFiles/simkit.dir/engine.cpp.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/engine.cpp.o.d"
+  "/root/repo/src/simkit/fiber.cpp" "src/simkit/CMakeFiles/simkit.dir/fiber.cpp.o" "gcc" "src/simkit/CMakeFiles/simkit.dir/fiber.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

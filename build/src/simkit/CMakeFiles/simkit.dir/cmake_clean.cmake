@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simkit.dir/cluster.cpp.o"
+  "CMakeFiles/simkit.dir/cluster.cpp.o.d"
+  "CMakeFiles/simkit.dir/engine.cpp.o"
+  "CMakeFiles/simkit.dir/engine.cpp.o.d"
+  "CMakeFiles/simkit.dir/fiber.cpp.o"
+  "CMakeFiles/simkit.dir/fiber.cpp.o.d"
+  "libsimkit.a"
+  "libsimkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

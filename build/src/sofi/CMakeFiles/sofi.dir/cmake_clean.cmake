@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sofi.dir/fabric.cpp.o"
+  "CMakeFiles/sofi.dir/fabric.cpp.o.d"
+  "libsofi.a"
+  "libsofi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sofi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sofi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbiosys/analysis.cpp" "src/symbiosys/CMakeFiles/symbiosys.dir/analysis.cpp.o" "gcc" "src/symbiosys/CMakeFiles/symbiosys.dir/analysis.cpp.o.d"
+  "/root/repo/src/symbiosys/export.cpp" "src/symbiosys/CMakeFiles/symbiosys.dir/export.cpp.o" "gcc" "src/symbiosys/CMakeFiles/symbiosys.dir/export.cpp.o.d"
+  "/root/repo/src/symbiosys/insight.cpp" "src/symbiosys/CMakeFiles/symbiosys.dir/insight.cpp.o" "gcc" "src/symbiosys/CMakeFiles/symbiosys.dir/insight.cpp.o.d"
+  "/root/repo/src/symbiosys/records.cpp" "src/symbiosys/CMakeFiles/symbiosys.dir/records.cpp.o" "gcc" "src/symbiosys/CMakeFiles/symbiosys.dir/records.cpp.o.d"
+  "/root/repo/src/symbiosys/zipkin.cpp" "src/symbiosys/CMakeFiles/symbiosys.dir/zipkin.cpp.o" "gcc" "src/symbiosys/CMakeFiles/symbiosys.dir/zipkin.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbiosys.dir/analysis.cpp.o"
+  "CMakeFiles/symbiosys.dir/analysis.cpp.o.d"
+  "CMakeFiles/symbiosys.dir/export.cpp.o"
+  "CMakeFiles/symbiosys.dir/export.cpp.o.d"
+  "CMakeFiles/symbiosys.dir/insight.cpp.o"
+  "CMakeFiles/symbiosys.dir/insight.cpp.o.d"
+  "CMakeFiles/symbiosys.dir/records.cpp.o"
+  "CMakeFiles/symbiosys.dir/records.cpp.o.d"
+  "CMakeFiles/symbiosys.dir/zipkin.cpp.o"
+  "CMakeFiles/symbiosys.dir/zipkin.cpp.o.d"
+  "libsymbiosys.a"
+  "libsymbiosys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbiosys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

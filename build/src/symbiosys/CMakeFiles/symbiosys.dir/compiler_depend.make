@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for symbiosys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for symbiosys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads.dir/hepnos_world.cpp.o"
+  "CMakeFiles/workloads.dir/hepnos_world.cpp.o.d"
+  "CMakeFiles/workloads.dir/mobject_world.cpp.o"
+  "CMakeFiles/workloads.dir/mobject_world.cpp.o.d"
+  "CMakeFiles/workloads.dir/table4.cpp.o"
+  "CMakeFiles/workloads.dir/table4.cpp.o.d"
+  "libworkloads.a"
+  "libworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_argolite.dir/test_argolite.cpp.o"
+  "CMakeFiles/test_argolite.dir/test_argolite.cpp.o.d"
+  "test_argolite"
+  "test_argolite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_argolite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

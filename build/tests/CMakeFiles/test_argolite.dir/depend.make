@@ -1,0 +1,2 @@
+# Empty dependencies file for test_argolite.
+# This may be replaced when dependencies are built.

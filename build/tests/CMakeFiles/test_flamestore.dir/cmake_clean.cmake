@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flamestore.dir/test_flamestore.cpp.o"
+  "CMakeFiles/test_flamestore.dir/test_flamestore.cpp.o.d"
+  "test_flamestore"
+  "test_flamestore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flamestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

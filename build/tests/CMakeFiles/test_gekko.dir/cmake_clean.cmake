@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gekko.dir/test_gekko.cpp.o"
+  "CMakeFiles/test_gekko.dir/test_gekko.cpp.o.d"
+  "test_gekko"
+  "test_gekko.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gekko.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_insight.dir/test_insight.cpp.o"
+  "CMakeFiles/test_insight.dir/test_insight.cpp.o.d"
+  "test_insight"
+  "test_insight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_insight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_jx9lite.dir/test_jx9lite.cpp.o"
+  "CMakeFiles/test_jx9lite.dir/test_jx9lite.cpp.o.d"
+  "test_jx9lite"
+  "test_jx9lite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_jx9lite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

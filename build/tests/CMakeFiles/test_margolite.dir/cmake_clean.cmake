@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_margolite.dir/test_margolite.cpp.o"
+  "CMakeFiles/test_margolite.dir/test_margolite.cpp.o.d"
+  "test_margolite"
+  "test_margolite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_margolite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_merclite.dir/test_merclite.cpp.o"
+  "CMakeFiles/test_merclite.dir/test_merclite.cpp.o.d"
+  "test_merclite"
+  "test_merclite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_merclite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

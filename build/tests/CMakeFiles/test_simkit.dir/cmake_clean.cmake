@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simkit.dir/test_simkit.cpp.o"
+  "CMakeFiles/test_simkit.dir/test_simkit.cpp.o.d"
+  "test_simkit"
+  "test_simkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sofi.dir/test_sofi.cpp.o"
+  "CMakeFiles/test_sofi.dir/test_sofi.cpp.o.d"
+  "test_sofi"
+  "test_sofi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sofi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

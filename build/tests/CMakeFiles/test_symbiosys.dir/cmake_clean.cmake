@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_symbiosys.dir/test_symbiosys.cpp.o"
+  "CMakeFiles/test_symbiosys.dir/test_symbiosys.cpp.o.d"
+  "test_symbiosys"
+  "test_symbiosys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_symbiosys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

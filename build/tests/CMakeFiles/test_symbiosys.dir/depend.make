@@ -1,0 +1,2 @@
+# Empty dependencies file for test_symbiosys.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/test_workloads.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/test_workloads.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/services/CMakeFiles/services.dir/DependInfo.cmake"
+  "/root/repo/build/src/margolite/CMakeFiles/margolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/merclite/CMakeFiles/merclite.dir/DependInfo.cmake"
+  "/root/repo/build/src/sofi/CMakeFiles/sofi.dir/DependInfo.cmake"
+  "/root/repo/build/src/argolite/CMakeFiles/argolite.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbiosys/CMakeFiles/symbiosys.dir/DependInfo.cmake"
+  "/root/repo/build/src/simkit/CMakeFiles/simkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
