@@ -1,0 +1,151 @@
+// ablation_adaptive: closed-loop adaptive runtime control on the Fig. 9/10
+// HEPnOS ingestion experiment. Reruns the starved C1 configuration (5 ESs,
+// saturated handler pool) across a load sweep, with the full adaptive
+// controller either off (static C1, the paper's measured pathology) or on
+// (handler autoscale + elastic downscale + admission watermark on every
+// server, adaptive OFI_max_events + eager-threshold autotune on every
+// client).
+//
+// The paper's Fig. 10 attributes C1's inflated latency to t4->t5 queueing:
+// requests wait in the handler pool behind blocked ULTs. The controller
+// must detect that backlog through the PVAR interface and drive it down;
+// the headline metric is therefore the mean t4->t5 handler-wait interval.
+// Every action the controller takes is also recorded as a "policy:*"
+// action span, so the adaptation is visible in the very traces used to
+// diagnose the problem — the count of those spans is reported per run.
+#include <map>
+
+#include "bench/common.hpp"
+#include "margolite/policy.hpp"
+#include "symbiosys/breadcrumb.hpp"
+#include "workloads/hepnos_world.hpp"
+
+using namespace bench;
+namespace margo = sym::margo;
+
+namespace {
+
+struct Outcome {
+  sim::DurationNs makespan = 0;
+  double mean_handler_wait_ns = 0;  ///< mean t4->t5 over all requests
+  std::uint64_t handler_wait_count = 0;
+  std::size_t action_spans = 0;     ///< "policy:*" spans in the stitched trace
+  std::size_t actions = 0;
+  unsigned final_es = 0;
+  std::uint64_t admission_rejects = 0;
+};
+
+/// Mean of the target-side t4->t5 (handler wait) interval over every
+/// callpath and entity in the run.
+void mean_handler_wait(const std::vector<const prof::ProfileStore*>& stores,
+                       Outcome& out) {
+  double sum = 0;
+  std::uint64_t count = 0;
+  for (const auto* store : stores) {
+    for (const auto& [key, stats] : store->entries()) {
+      if (key.side != prof::Side::kTarget) continue;
+      const auto& iv = stats.at(prof::Interval::kHandlerWait);
+      sum += iv.sum_ns;
+      count += iv.count;
+    }
+  }
+  out.mean_handler_wait_ns = count == 0 ? 0 : sum / static_cast<double>(count);
+  out.handler_wait_count = count;
+}
+
+/// Count spans whose breadcrumb leaf resolves to a "policy:*" action name.
+std::size_t count_action_spans(const prof::TraceSummary& summary) {
+  std::size_t n = 0;
+  for (const auto& rt : summary.requests) {
+    for (const auto& sp : rt.spans) {
+      const auto leaf = prof::leaf_of(sp.breadcrumb);
+      if (prof::NameRegistry::global().lookup(leaf).rfind("policy:", 0) == 0)
+        ++n;
+    }
+  }
+  return n;
+}
+
+Outcome run(std::uint32_t events_per_client, bool adaptive) {
+  auto params = hepnos_params(sym::workloads::table4_c1(), events_per_client);
+  sym::workloads::HepnosWorld world(params);
+
+  std::vector<std::unique_ptr<margo::PolicyEngine>> engines;
+  if (adaptive) {
+    for (std::size_t s = 0; s < world.server_count(); ++s) {
+      auto e = std::make_unique<margo::PolicyEngine>(
+          world.server_instance(s), sim::usec(200));
+      e->add_rule("autoscale", margo::PolicyEngine::handler_autoscale(
+                                   /*backlog_per_es=*/3.0,
+                                   /*consecutive=*/2, /*max_es=*/24));
+      e->add_rule("downscale", margo::PolicyEngine::handler_downscale(
+                                   /*consecutive=*/10, /*min_es=*/4));
+      e->add_rule("admission", margo::PolicyEngine::admission_watermark(
+                                   /*high=*/96, /*low=*/8));
+      engines.push_back(std::move(e));
+    }
+    for (std::size_t c = 0; c < world.client_count(); ++c) {
+      auto e = std::make_unique<margo::PolicyEngine>(
+          world.client_instance(c), sim::usec(200));
+      e->add_rule("adaptive_max_events",
+                  margo::PolicyEngine::adaptive_max_events(
+                      /*consecutive=*/2, /*cap=*/128));
+      e->add_rule("eager_autotune",
+                  margo::PolicyEngine::eager_threshold_autotune(
+                      /*overflow_frac=*/0.5, /*cap=*/1 << 16));
+      engines.push_back(std::move(e));
+    }
+    // Instances start inside world.run(); arm the controllers via a t=0
+    // event so their monitor ULTs spawn right after.
+    world.engine().at(0, [&engines] {
+      for (auto& e : engines) e->start();
+    });
+  }
+  world.run();
+
+  Outcome out;
+  out.makespan = world.makespan();
+  mean_handler_wait(world.all_profiles(), out);
+  out.action_spans = count_action_spans(
+      prof::TraceSummary::build(world.all_traces()));
+  for (auto& e : engines) out.actions += e->actions().size();
+  out.final_es = world.server_instance(0).handler_es_count();
+  for (std::size_t s = 0; s < world.server_count(); ++s)
+    out.admission_rejects += world.server_instance(s).admission_rejects();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  print_header(
+      "Closed-loop adaptive control on the starved C1 configuration",
+      "the Fig. 9/10 t4->t5 queueing pathology, controller on vs off");
+
+  std::printf("%-8s %-10s %12s %16s %10s %8s %8s %8s\n", "events", "mode",
+              "makespan_ms", "mean_t4_t5_us", "requests", "spans", "actions",
+              "final_es");
+  for (const std::uint32_t events : {1024u, 2048u, 4096u}) {
+    const auto off = run(events, false);
+    const auto on = run(events, true);
+    std::printf("%-8u %-10s %12.3f %16.3f %10llu %8zu %8zu %8u\n", events,
+                "static", sim::to_millis(off.makespan),
+                off.mean_handler_wait_ns / 1e3,
+                static_cast<unsigned long long>(off.handler_wait_count),
+                off.action_spans, off.actions, off.final_es);
+    std::printf("%-8u %-10s %12.3f %16.3f %10llu %8zu %8zu %8u\n", events,
+                "adaptive", sim::to_millis(on.makespan),
+                on.mean_handler_wait_ns / 1e3,
+                static_cast<unsigned long long>(on.handler_wait_count),
+                on.action_spans, on.actions, on.final_es);
+    const double dt =
+        100.0 * (off.mean_handler_wait_ns - on.mean_handler_wait_ns) /
+        (off.mean_handler_wait_ns > 0 ? off.mean_handler_wait_ns : 1.0);
+    std::printf("         -> t4->t5 queueing delay reduced %.1f%%; "
+                "%zu adaptation actions visible as trace spans"
+                " (%llu admission early-rejects)\n",
+                dt, on.action_spans,
+                static_cast<unsigned long long>(on.admission_rejects));
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env sh
+# Documentation consistency check, run as a CTest test (see
+# tests/CMakeLists.txt). Fails if:
+#   1. any markdown file contains a relative link to a file that does not
+#      exist, or
+#   2. a bench target registered in bench/CMakeLists.txt is missing from
+#      EXPERIMENTS.md, or
+#   3. a test target registered in tests/CMakeLists.txt is mentioned in no
+#      markdown doc at all.
+#
+# Usage: scripts/check_docs.sh [repo-root]   (defaults to the script's parent)
+
+set -u
+
+root=${1:-$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)}
+cd "$root" || exit 2
+
+fail=0
+
+# --- 1. relative markdown links ------------------------------------------
+# Extract ](target) occurrences from every tracked .md file; skip absolute
+# URLs, mailto and pure in-page anchors; resolve the rest against the
+# linking file's directory and require the target to exist.
+for md in $(find . -name '*.md' -not -path './build/*' -not -path './.git/*'); do
+  dir=$(dirname "$md")
+  # One link target per line; tolerate multiple links per line.
+  for target in $(grep -o ']([^)]*)' "$md" | sed 's/^](//; s/)$//'); do
+    case $target in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path=${target%%#*}                # strip in-page anchor
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN LINK: $md -> $target"
+      fail=1
+    fi
+  done
+done
+
+# --- 2. bench targets must appear in EXPERIMENTS.md ----------------------
+for b in $(sed -n 's/^sym_add_bench(\([a-z0-9_]*\) .*/\1/p' bench/CMakeLists.txt); do
+  if ! grep -q "$b" EXPERIMENTS.md; then
+    echo "MISSING FROM EXPERIMENTS.md: bench target $b"
+    fail=1
+  fi
+done
+
+# --- 3. test targets must be mentioned somewhere in the docs -------------
+docs="README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/ARCHITECTURE.md docs/PVARS.md"
+for t in $(sed -n 's/^sym_add_test(\([a-z0-9_]*\) .*/\1/p' tests/CMakeLists.txt); do
+  if ! grep -q "$t" $docs 2>/dev/null; then
+    echo "UNDOCUMENTED TEST TARGET: $t (mention it in one of: $docs)"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "check_docs: FAILED"
+  exit 1
+fi
+echo "check_docs: OK"
+exit 0

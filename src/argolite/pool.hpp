@@ -3,6 +3,12 @@
 // A pool is a FIFO queue of ready ULTs plus the blocked/runnable accounting
 // that SYMBIOSYS samples into trace events (the paper's Fig. 10 plots the
 // number of blocked ULTs sampled from Argobots at request start).
+//
+// Pools optionally carry an advisory capacity: admission-control layers
+// (margolite's adaptive controller) consult at_capacity() *before* spawning
+// a ULT and early-reject the request instead. push() itself never drops
+// work — internal wakeups (sync primitives, the network layer) must always
+// land.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +43,19 @@ class Pool {
   [[nodiscard]] std::size_t ready_count() const noexcept {
     return ready_.size();
   }
+  /// Highest ready-queue depth ever observed (backlog watermark for the
+  /// adaptive controller).
+  [[nodiscard]] std::size_t ready_high_watermark() const noexcept {
+    return ready_hwm_;
+  }
+
+  /// Advisory bound on the ready queue (0 = unbounded). Enforced by
+  /// admission-control callers via at_capacity(), not by push().
+  void set_capacity(std::size_t cap) noexcept { capacity_ = cap; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool at_capacity() const noexcept {
+    return capacity_ > 0 && ready_.size() >= capacity_;
+  }
   [[nodiscard]] std::uint64_t blocked_count() const noexcept {
     return blocked_;
   }
@@ -64,6 +83,8 @@ class Pool {
   std::string name_;
   std::deque<Ult*> ready_;
   std::vector<Xstream*> consumers_;
+  std::size_t ready_hwm_ = 0;
+  std::size_t capacity_ = 0;
   std::uint64_t blocked_ = 0;
   std::uint64_t running_ = 0;
   std::uint64_t total_pushed_ = 0;

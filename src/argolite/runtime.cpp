@@ -31,6 +31,7 @@ std::uint64_t Ult::local_get(KeyId key) const noexcept {
 void Pool::push(Ult& ult) {
   assert(ult.state_ == UltState::kReady);
   ready_.push_back(&ult);
+  if (ready_.size() > ready_hwm_) ready_hwm_ = ready_.size();
   ++total_pushed_;
   // Wake every idle consumer; each one self-guards against duplicate
   // dispatch scheduling, and an occupied ES re-checks its pools after the

@@ -23,8 +23,14 @@ Ult* Xstream::current_ult() noexcept { return g_current_ult; }
 
 void Xstream::notify_work() { try_dispatch(); }
 
+void Xstream::set_enabled(bool on) {
+  if (enabled_ == on) return;
+  enabled_ = on;
+  if (on) try_dispatch();
+}
+
 void Xstream::try_dispatch() {
-  if (busy_ || dispatch_scheduled_) return;
+  if (!enabled_ || busy_ || dispatch_scheduled_) return;
   bool have_work = false;
   for (Pool* p : pools_) {
     if (p->ready_count() > 0) {
@@ -50,7 +56,7 @@ Ult* Xstream::pop_ready() {
 }
 
 void Xstream::dispatch_one() {
-  if (busy_) return;  // someone grabbed this ES meanwhile
+  if (!enabled_ || busy_) return;  // parked or grabbed meanwhile
   Ult* u = pop_ready();
   if (u == nullptr) return;
   ++dispatched_;

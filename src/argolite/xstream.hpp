@@ -31,6 +31,13 @@ class Xstream {
   [[nodiscard]] bool busy() const noexcept { return busy_; }
   [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
 
+  /// Dynamically park / unpark this ES (pool autoscaling). A disabled ES
+  /// stops pulling new ULTs from its pools; a ULT it is currently running
+  /// finishes in place (stacks cannot migrate). Re-enabling immediately
+  /// re-checks the pools for queued work.
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
   /// Called by pools when work arrives: schedule a dispatch if idle.
   void notify_work();
 
@@ -66,6 +73,7 @@ class Xstream {
   std::uint32_t rank_;
   std::vector<Pool*> pools_;
   bool busy_ = false;
+  bool enabled_ = true;
   bool dispatch_scheduled_ = false;
   std::uint64_t dispatched_ = 0;
   sim::DurationNs busy_time_ = 0;

@@ -43,7 +43,7 @@ Instance::Instance(ofi::Fabric& fabric, sim::Process& process,
     main_pool_ = handler_pool_;
     runtime_->create_xstream({progress_pool_});
     for (unsigned i = 0; i < cfg_.handler_es; ++i) {
-      runtime_->create_xstream({handler_pool_});
+      handler_xs_.push_back(&runtime_->create_xstream({handler_pool_}));
     }
     total_es_ = 1 + cfg_.handler_es;
     handler_es_count_ = cfg_.handler_es;
@@ -90,9 +90,49 @@ void Instance::start() {
 void Instance::finalize() { finalize_requested_ = true; }
 
 unsigned Instance::add_handler_xstream() {
-  runtime_->create_xstream({handler_pool_});
+  // Prefer unparking an ES over creating one: scale-down followed by
+  // scale-up must not grow the ES population without bound.
+  for (abt::Xstream* xs : handler_xs_) {
+    if (!xs->enabled()) {
+      xs->set_enabled(true);
+      ++total_es_;
+      return ++handler_es_count_;
+    }
+  }
+  handler_xs_.push_back(&runtime_->create_xstream({handler_pool_}));
   ++total_es_;
   return ++handler_es_count_;
+}
+
+unsigned Instance::remove_handler_xstream() {
+  if (handler_es_count_ <= 1) return handler_es_count_;
+  // Park the highest-ranked still-enabled handler ES.
+  for (auto it = handler_xs_.rbegin(); it != handler_xs_.rend(); ++it) {
+    if ((*it)->enabled()) {
+      (*it)->set_enabled(false);
+      --total_es_;
+      return --handler_es_count_;
+    }
+  }
+  return handler_es_count_;
+}
+
+void Instance::set_admission_limit(std::size_t limit) noexcept {
+  admission_limit_ = limit;
+  if (handler_pool_ != nullptr) handler_pool_->set_capacity(limit);
+}
+
+void Instance::record_action_span(const std::string& action_name,
+                                  sim::TimeNs started) {
+  if (cfg_.instr < prof::Level::kStage2) return;
+  prof::NameRegistry::global().register_name(action_name);
+  const prof::Breadcrumb bc = prof::hash16(action_name);
+  const auto events = prof::make_action_span(
+      make_request_id(), bc, addr(), node_.local_clock(started), local_clock(),
+      lamport_);
+  lamport_ += 4;  // the four events bumped the clock
+  for (const auto& ev : events) trace_.append(ev);
+  charge(4 * kTraceEventCost);
 }
 
 void Instance::charge(sim::DurationNs d) {
@@ -318,12 +358,51 @@ const std::vector<std::byte>& PendingOp::wait() {
   return handle_->response_body;
 }
 
+const std::vector<std::byte>& PendingOp::wait_retry(
+    unsigned max_attempts, sim::DurationNs initial_backoff) {
+  wait();
+  attempts_ = 1;
+  sim::DurationNs backoff = initial_backoff;
+  while (busy() && !timed_out_ && attempts_ < max_attempts) {
+    abt::sleep_for(backoff);
+    backoff *= 2;
+    ++attempts_;
+    // The origin handle still holds the request input and attachment, so
+    // the op can be re-issued verbatim; adopt the retry's handle so the
+    // caller sees the final attempt's response and flags.
+    auto retry = inst_->forward_async(
+        handle_->peer_addr(), handle_->header.provider_id,
+        handle_->header.rpc_id, handle_->body, handle_->attachment,
+        handle_->attachment_bytes);
+    retry->wait();
+    handle_ = retry->handle_;
+  }
+  return handle_->response_body;
+}
+
 std::vector<std::byte> Instance::forward(ofi::EpAddr dest,
                                          std::uint16_t provider_id,
                                          hg::RpcId rpc,
                                          std::vector<std::byte> input) {
+  // Cooperates with target-side admission control: a kFlagBusy
+  // early-reject is retried with exponential backoff before giving up, so
+  // every service client participates in the backpressure protocol without
+  // changes.
+  return forward_retry(dest, provider_id, rpc, std::move(input)).response;
+}
+
+Instance::RetryResult Instance::forward_retry(ofi::EpAddr dest,
+                                              std::uint16_t provider_id,
+                                              hg::RpcId rpc,
+                                              std::vector<std::byte> input,
+                                              unsigned max_attempts,
+                                              sim::DurationNs initial_backoff) {
+  RetryResult result;
   auto op = forward_async(dest, provider_id, rpc, std::move(input));
-  return op->wait();
+  result.response = op->wait_retry(max_attempts, initial_backoff);
+  result.attempts = op->attempts();
+  result.busy = op->busy();
+  return result;
 }
 
 void Instance::spawn(std::function<void()> fn) {
@@ -337,6 +416,14 @@ void Instance::spawn(std::function<void()> fn) {
 void Instance::on_request_arrival(hg::HandlePtr h) {
   // Progress-ULT context; this is t4 — a fresh ULT is spawned for the
   // request and queued in the handler pool.
+  if (admission_limit_ > 0 && handler_pool_->at_capacity()) {
+    // Backpressure: the handler backlog is over the watermark. Early-reject
+    // so the origin backs off instead of deepening the t4->t5 queue.
+    ++admission_rejects_;
+    h->header.flags |= hg::kFlagBusy;
+    hg_->respond(h, {}, nullptr);
+    return;
+  }
   auto hit = handlers_.find(h->header.rpc_id);
   auto pit = hit != handlers_.end() ? hit->second.find(h->header.provider_id)
                                     : decltype(hit->second.end()){};

@@ -62,9 +62,29 @@ class PendingOp {
   /// the response body.
   const std::vector<std::byte>& wait();
 
+  /// wait(), then transparently re-issue the RPC after an exponentially
+  /// growing backoff while the target keeps early-rejecting it with
+  /// kFlagBusy (admission control). Adopts the final attempt's response:
+  /// afterwards busy() reports whether the last attempt was still
+  /// rejected. Each retry is a fresh forward, so retries show up as
+  /// additional origin spans in the trace.
+  const std::vector<std::byte>& wait_retry(
+      unsigned max_attempts = 8,
+      sim::DurationNs initial_backoff = sim::usec(50));
+
+  /// Forwards issued by the last wait_retry() (1 = accepted first time).
+  [[nodiscard]] unsigned attempts() const noexcept { return attempts_; }
+
   [[nodiscard]] bool completed() const noexcept { return done_.is_set(); }
   /// True when the operation's deadline expired before the response.
   [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
+
+  /// True when the target early-rejected the request under admission
+  /// control (backpressure). The caller should back off and retry —
+  /// Instance::forward_retry implements that loop.
+  [[nodiscard]] bool busy() const noexcept {
+    return (handle_->header.flags & hg::kFlagBusy) != 0;
+  }
 
   /// True when the target reported a library-level error (e.g. no provider
   /// registered the RPC) — HG_NO_MATCH semantics.
@@ -85,6 +105,7 @@ class PendingOp {
   prof::Breadcrumb bc = 0;
   std::uint64_t request_id = 0;
   std::uint32_t base_order = 0;
+  unsigned attempts_ = 1;
   bool recorded_ = false;
   bool timed_out_ = false;
   sim::Engine::EventId deadline_event_ = 0;
@@ -175,9 +196,26 @@ class Instance {
                              std::uint64_t attachment_bytes = 0,
                              sim::DurationNs timeout = 0);
 
-  /// Synchronous forward: forward_async() + wait().
+  /// Synchronous forward: forward_async() + wait(). Busy early-rejects are
+  /// retried via forward_retry() with the default backoff schedule, so
+  /// callers transparently cooperate with target-side admission control.
   std::vector<std::byte> forward(ofi::EpAddr dest, std::uint16_t provider_id,
                                  hg::RpcId rpc, std::vector<std::byte> input);
+
+  /// Outcome of a forward_retry() loop.
+  struct RetryResult {
+    std::vector<std::byte> response;  ///< valid when !busy
+    unsigned attempts = 0;            ///< total forwards issued
+    bool busy = false;  ///< still rejected after max_attempts
+  };
+
+  /// Synchronous forward with the admission-control retry/backoff protocol:
+  /// a kFlagBusy early-reject is retried after an exponentially growing
+  /// backoff (initial_backoff, doubling per attempt), up to max_attempts.
+  RetryResult forward_retry(ofi::EpAddr dest, std::uint16_t provider_id,
+                            hg::RpcId rpc, std::vector<std::byte> input,
+                            unsigned max_attempts = 8,
+                            sim::DurationNs initial_backoff = sim::usec(50));
 
   /// Spawn an application ULT on the main (client) pool.
   void spawn(std::function<void()> fn);
@@ -219,14 +257,42 @@ class Instance {
     return requests_handled_;
   }
 
-  /// Dynamically add one execution stream to the handler pool (used by the
-  /// policy engine's autoscaling rule). Returns the new handler ES count.
+  /// Dynamically add one execution stream to the handler pool (the
+  /// controller's scale-up action). A previously parked ES is re-enabled
+  /// before a new one is created. Returns the new active handler ES count.
   unsigned add_handler_xstream();
+
+  /// Park one handler execution stream (the controller's scale-down
+  /// action). The ES finishes its current ULT, then stops pulling work; at
+  /// least one handler ES always stays active. Returns the new active
+  /// handler ES count.
+  unsigned remove_handler_xstream();
 
   [[nodiscard]] unsigned handler_es_count() const noexcept {
     return handler_es_count_;
   }
   [[nodiscard]] unsigned total_es_count() const noexcept { return total_es_; }
+
+  // --- admission control (backpressure) --------------------------------------
+
+  /// Bound the handler pool's ready queue: requests arriving while the
+  /// backlog is >= `limit` are early-rejected with kFlagBusy instead of
+  /// spawning a handler ULT (0 disables). The controller's
+  /// admission_watermark rule toggles this around its high/low watermarks.
+  void set_admission_limit(std::size_t limit) noexcept;
+  [[nodiscard]] std::size_t admission_limit() const noexcept {
+    return admission_limit_;
+  }
+  /// Requests early-rejected under admission control so far.
+  [[nodiscard]] std::uint64_t admission_rejects() const noexcept {
+    return admission_rejects_;
+  }
+
+  /// Record one adaptation action as a self-contained SYMBIOSYS span (see
+  /// prof::make_action_span): `action_name` must be NameRegistry-registered
+  /// by the caller or via this call; `started` is the detection timestamp.
+  /// No-op below Stage 2 (tracing disabled).
+  void record_action_span(const std::string& action_name, sim::TimeNs started);
 
   // Virtual-time cost of instrumentation actions; used by the overhead
   // study (Fig. 13) and charged only at the corresponding levels.
@@ -285,9 +351,13 @@ class Instance {
   prof::TraceStore trace_;
   prof::SysStatStore sysstats_;
 
+  std::vector<abt::Xstream*> handler_xs_;  // created handler ESs (may be parked)
+
   std::uint64_t lamport_ = 0;
   std::uint64_t req_counter_ = 0;
   std::uint64_t requests_handled_ = 0;
+  std::size_t admission_limit_ = 0;
+  std::uint64_t admission_rejects_ = 0;
   bool started_ = false;
   bool finalize_requested_ = false;
   sim::TimeNs last_cpu_checkpoint_ = 0;

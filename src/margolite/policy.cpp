@@ -1,5 +1,6 @@
 #include "margolite/policy.hpp"
 
+#include <algorithm>
 #include <memory>
 
 namespace sym::margo {
@@ -19,17 +20,29 @@ PolicySample PolicyEngine::take_sample() {
   const auto pv_read = session.alloc("num_ofi_events_read");
   const auto pv_cq = session.alloc("completion_queue_size");
   const auto pv_posted = session.alloc("num_posted_handles");
+  const auto pv_eager = session.alloc("eager_buffer_size");
+  const auto pv_overflow = session.alloc("eager_overflow_count");
+  const auto pv_invoked = session.alloc("num_rpcs_invoked");
+  const auto pv_handled = session.alloc("num_rpcs_handled");
 
   PolicySample s;
   s.now = mid_.engine().now();
   s.num_ofi_events_read = session.read(pv_read);
   s.completion_queue_size = session.read(pv_cq);
   s.num_posted_handles = session.read(pv_posted);
+  s.eager_limit = session.read(pv_eager);
+  s.eager_overflows = session.read(pv_overflow);
+  s.rpcs_invoked = session.read(pv_invoked);
+  s.rpcs_handled = session.read(pv_handled);
   s.ofi_max_events = mid_.hg_class().config().max_events;
   s.blocked_ults = mid_.runtime().total_blocked();
   s.runnable_ults = mid_.runtime().total_runnable();
+  s.handler_ready = mid_.handler_pool().ready_count();
+  s.handler_running = mid_.handler_pool().running_count();
   s.rss_bytes = mid_.process().rss_bytes();
   s.handler_es_count = mid_.handler_es_count();
+  s.admission_limit = mid_.admission_limit();
+  s.admission_rejects = mid_.admission_rejects();
   return s;
 }
 
@@ -41,8 +54,10 @@ void PolicyEngine::monitor_loop() {
     ++samples_;
     for (auto& [name, rule] : rules_) {
       if (auto fired = rule(mid_, sample)) {
-        actions_.push_back(PolicyAction{
-            sample.now, name + ": " + *fired});
+        actions_.push_back(PolicyAction{sample.now, name, *fired});
+        // Make the adaptation itself observable: one action span per
+        // applied action, stitched into the trace like any RPC span.
+        mid_.record_action_span("policy:" + name, sample.now);
       }
     }
   }
@@ -98,6 +113,85 @@ PolicyRule PolicyEngine::handler_autoscale(double backlog_per_es,
     return "handler pool starved (" + std::to_string(s.runnable_ults) +
            " runnable ULTs on " + std::to_string(s.handler_es_count) +
            " ESs); scaling to " + std::to_string(now_count) + " ESs";
+  };
+}
+
+PolicyRule PolicyEngine::handler_downscale(unsigned consecutive,
+                                           unsigned min_es) {
+  auto streak = std::make_shared<unsigned>(0);
+  return [streak, consecutive, min_es](
+             Instance& mid,
+             const PolicySample& s) -> std::optional<std::string> {
+    // Idle: nothing queued and at least one ES with no ULT on it.
+    const bool idle = s.handler_ready == 0 &&
+                      s.handler_running < s.handler_es_count;
+    if (!idle || s.handler_es_count <= min_es) {
+      *streak = 0;
+      return std::nullopt;
+    }
+    if (++*streak < consecutive) return std::nullopt;
+    *streak = 0;
+    const unsigned now_count = mid.remove_handler_xstream();
+    return "handler pool idle (" + std::to_string(s.handler_running) +
+           " running on " + std::to_string(s.handler_es_count) +
+           " ESs); parking one, down to " + std::to_string(now_count) + " ESs";
+  };
+}
+
+PolicyRule PolicyEngine::eager_threshold_autotune(double overflow_frac,
+                                                  std::size_t cap) {
+  struct State {
+    double last_overflows = 0;
+    double last_invoked = 0;
+  };
+  auto st = std::make_shared<State>();
+  return [st, overflow_frac, cap](
+             Instance& mid,
+             const PolicySample& s) -> std::optional<std::string> {
+    const double d_over = s.eager_overflows - st->last_overflows;
+    const double d_invoked = s.rpcs_invoked - st->last_invoked;
+    st->last_overflows = s.eager_overflows;
+    st->last_invoked = s.rpcs_invoked;
+    if (d_invoked <= 0 || d_over / d_invoked <= overflow_frac)
+      return std::nullopt;
+    const auto cur = static_cast<std::size_t>(s.eager_limit);
+    if (cur >= cap) return std::nullopt;
+    const std::size_t next = std::min(cap, std::max<std::size_t>(1, cur) * 2);
+    // Retune through the writable PVAR — the same control channel an
+    // external tool would use — rather than poking the config directly.
+    auto session = mid.hg_class().pvar_session_init();
+    const auto pv = session.alloc("eager_buffer_size");
+    session.write(pv, static_cast<double>(next));
+    return std::to_string(static_cast<std::uint64_t>(d_over)) + "/" +
+           std::to_string(static_cast<std::uint64_t>(d_invoked)) +
+           " RPCs overflowed the eager buffer; raising eager_buffer_size " +
+           std::to_string(cur) + " -> " + std::to_string(next);
+  };
+}
+
+PolicyRule PolicyEngine::admission_watermark(std::size_t high,
+                                             std::size_t low) {
+  auto engaged = std::make_shared<bool>(false);
+  return [engaged, high, low](
+             Instance& mid,
+             const PolicySample& s) -> std::optional<std::string> {
+    if (!*engaged && s.handler_ready >= high) {
+      *engaged = true;
+      mid.set_admission_limit(high);
+      return "handler backlog " + std::to_string(s.handler_ready) +
+             " crossed high watermark " + std::to_string(high) +
+             "; engaging admission control (bound=" + std::to_string(high) +
+             ")";
+    }
+    if (*engaged && s.handler_ready <= low) {
+      *engaged = false;
+      mid.set_admission_limit(0);
+      return "handler backlog " + std::to_string(s.handler_ready) +
+             " drained below low watermark " + std::to_string(low) +
+             "; lifting admission control after " +
+             std::to_string(s.admission_rejects) + " early-rejects";
+    }
+    return std::nullopt;
   };
 }
 

@@ -5,19 +5,32 @@
 // response to poor performance behavior can be formulated and applied based
 // on performance monitoring".
 //
-// A PolicyEngine runs as a monitoring ULT on a margolite instance. Each
-// period it samples the instance through the *same PVAR tool interface an
-// external tool would use* plus the argolite introspection counters, and
-// evaluates the registered rules. A rule inspects the sampled state and may
-// return an action description; built-in rules implement the remediations
-// the paper's case studies applied by hand:
+// A PolicyEngine runs as a periodic controller ULT on a margolite instance,
+// closing the loop from measurement to control. Each period it samples the
+// instance through the *same PVAR tool interface an external tool would
+// use* plus the argolite introspection counters, and evaluates the
+// registered rules. A rule inspects the sampled state and may apply a
+// remediation and return an action description; every applied action is
+// additionally recorded as a SYMBIOSYS action span in the instance's trace
+// (prof::make_action_span), so adaptation itself is observable in the
+// stitched traces, the Zipkin export and the insight reports.
 //
-//  * adaptive_max_events  — detects a backed-up OFI completion queue (the
+// Built-in rules automate the remediations the paper's case studies applied
+// by hand, plus the backpressure loop the ROADMAP's production goal needs:
+//
+//  * adaptive_max_events    — detects a backed-up OFI completion queue (the
 //    num_ofi_events_read PVAR pinned at OFI_max_events, Fig. 12) and raises
 //    the threshold, automating the C5 -> C6 fix;
-//  * handler_autoscale    — detects handler-pool starvation (sustained
-//    ready-ULT backlog) and adds execution streams, automating C1 -> C2;
-//  * rss_watermark        — reports when process memory crosses a limit.
+//  * handler_autoscale      — detects handler-pool starvation (sustained
+//    ready-ULT backlog) and adds/unparks execution streams (C1 -> C2);
+//  * handler_downscale      — the inverse: parks idle handler ESs so a
+//    burst-grown pool shrinks back when traffic drains;
+//  * eager_threshold_autotune — detects a high eager-overflow rate and
+//    raises the eager-vs-RDMA threshold through the *writable*
+//    `eager_buffer_size` PVAR (the §VII control channel);
+//  * admission_watermark    — toggles admission control (bounded handler
+//    queue + kFlagBusy early-reject) around high/low backlog watermarks;
+//  * rss_watermark          — reports when process memory crosses a limit.
 #pragma once
 
 #include <cstdint>
@@ -30,17 +43,27 @@
 
 namespace sym::margo {
 
-/// Snapshot handed to rules each monitoring period.
+/// Snapshot handed to rules each monitoring period. RPC-library fields are
+/// read through a PVAR session; tasking fields come from argolite
+/// introspection; OS fields from the simulated process.
 struct PolicySample {
-  sim::TimeNs now = 0;
-  double num_ofi_events_read = 0;
-  double completion_queue_size = 0;
-  double num_posted_handles = 0;
-  std::size_t ofi_max_events = 0;
-  std::uint64_t blocked_ults = 0;
-  std::uint64_t runnable_ults = 0;
-  std::uint64_t rss_bytes = 0;
-  unsigned handler_es_count = 0;
+  sim::TimeNs now = 0;                 ///< global virtual time of the sample
+  double num_ofi_events_read = 0;      ///< PVAR (LEVEL)
+  double completion_queue_size = 0;    ///< PVAR (STATE)
+  double num_posted_handles = 0;       ///< PVAR (LEVEL)
+  double eager_limit = 0;              ///< PVAR (SIZE, writable)
+  double eager_overflows = 0;          ///< PVAR (COUNTER)
+  double rpcs_invoked = 0;             ///< PVAR (COUNTER), origin side
+  double rpcs_handled = 0;             ///< PVAR (COUNTER), target side
+  std::size_t ofi_max_events = 0;      ///< hg::ClassConfig threshold
+  std::uint64_t blocked_ults = 0;      ///< argolite, all pools
+  std::uint64_t runnable_ults = 0;     ///< argolite, all pools
+  std::size_t handler_ready = 0;       ///< handler pool ready-queue depth
+  std::uint64_t handler_running = 0;   ///< handler pool ULTs on an ES
+  std::uint64_t rss_bytes = 0;         ///< OS view
+  unsigned handler_es_count = 0;       ///< active handler ESs
+  std::size_t admission_limit = 0;     ///< current backpressure bound (0=off)
+  std::uint64_t admission_rejects = 0; ///< early-rejects so far
 };
 
 /// A rule: inspect the sample (and the instance, for remediation) and
@@ -50,29 +73,37 @@ using PolicyRule =
 
 /// Record of one applied action.
 struct PolicyAction {
-  sim::TimeNs at = 0;
-  std::string description;
+  sim::TimeNs at = 0;        ///< sample time that triggered the action
+  std::string rule;          ///< registered rule name
+  std::string description;   ///< what was done, human-readable
 };
 
+/// The periodic controller: samples, evaluates rules, applies remediations,
+/// and records every action both in actions() and as a trace action span
+/// named "policy:<rule>".
 class PolicyEngine {
  public:
-  PolicyEngine(Instance& mid, sim::DurationNs period = sim::usec(500))
+  explicit PolicyEngine(Instance& mid, sim::DurationNs period = sim::usec(500))
       : mid_(mid), period_(period) {}
   PolicyEngine(const PolicyEngine&) = delete;
   PolicyEngine& operator=(const PolicyEngine&) = delete;
 
+  /// Register a rule under `name`; evaluated in registration order every
+  /// period. The name becomes the action-span suffix ("policy:<name>").
   void add_rule(std::string name, PolicyRule rule) {
     rules_.push_back({std::move(name), std::move(rule)});
   }
 
-  /// Spawn the monitoring ULT. The engine stops when the instance
+  /// Spawn the controller ULT. The engine stops when the instance
   /// finalizes or stop() is called.
   void start();
   void stop() noexcept { stopped_ = true; }
 
+  /// All actions applied so far, in order.
   [[nodiscard]] const std::vector<PolicyAction>& actions() const noexcept {
     return actions_;
   }
+  /// Number of monitoring periods completed.
   [[nodiscard]] std::uint64_t samples_taken() const noexcept {
     return samples_;
   }
@@ -90,6 +121,27 @@ class PolicyEngine {
   static PolicyRule handler_autoscale(double backlog_per_es = 4.0,
                                       unsigned consecutive = 3,
                                       unsigned max_es = 64);
+
+  /// Fire when the handler pool has an empty ready queue *and* idle ESs
+  /// (running < active ESs) for `consecutive` samples; park one ES down to
+  /// `min_es`. Pairs with handler_autoscale to make pools elastic in both
+  /// directions.
+  static PolicyRule handler_downscale(unsigned consecutive = 8,
+                                      unsigned min_es = 1);
+
+  /// Fire when more than `overflow_frac` of the RPCs invoked since the last
+  /// sample overflowed the eager buffer; double the eager-vs-RDMA threshold
+  /// up to `cap` bytes by *writing the `eager_buffer_size` PVAR* through a
+  /// tool session.
+  static PolicyRule eager_threshold_autotune(double overflow_frac = 0.5,
+                                             std::size_t cap = 1 << 16);
+
+  /// Backpressure: when the handler ready backlog crosses `high`, bound the
+  /// handler queue at `high` (arrivals beyond it are early-rejected with
+  /// kFlagBusy and retried by the origin); when it drains to `low`, lift
+  /// the bound again.
+  static PolicyRule admission_watermark(std::size_t high = 64,
+                                        std::size_t low = 8);
 
   /// Fire (once per crossing) when RSS exceeds `limit_bytes`.
   static PolicyRule rss_watermark(std::uint64_t limit_bytes);

@@ -115,10 +115,18 @@ void Class::register_pvars() {
              [this](const Handle*) {
                return static_cast<double>(num_rpcs_handled_);
              });
+  // Writable: the eager-vs-RDMA overflow threshold is a control knob. A
+  // tool (or the adaptive controller) raises it when too many requests take
+  // the internal-RDMA path, through the same session interface it samples
+  // from (§VII policy-driven reconfiguration).
   pvars_.add({"eager_buffer_size", "Size of the eager message buffer",
               PvarClass::kSize, PvarBind::kNoObject},
              [this](const Handle*) {
                return static_cast<double>(config_.eager_limit);
+             },
+             [this](double v) {
+               config_.eager_limit =
+                   v < 0 ? 0 : static_cast<std::size_t>(v);
              });
   pvars_.add({"eager_overflow_count",
               "Requests whose input overflowed the eager buffer",
@@ -240,7 +248,8 @@ void Class::respond(const HandlePtr& h, std::vector<std::byte> output,
   h->response_body = std::move(output);
 
   RpcHeader resp = h->header;
-  resp.flags = h->header.flags & kFlagError;  // only the error bit echoes
+  // Only the library-status bits echo back to the origin.
+  resp.flags = h->header.flags & (kFlagError | kFlagBusy);
   resp.body_size = h->response_body.size();
   BufWriter w;
   put(w, resp);
@@ -347,10 +356,10 @@ void Class::handle_response_arrival(ofi::CqEntry&& entry) {
                           entry.data.end());
   h->response_queued_at_ = engine().now();  // t12
   // Carry the responder's Lamport clock back to the origin so the tracing
-  // layer can apply the receive-side max+1 update, and surface a
-  // library-level error flag if the target set one.
+  // layer can apply the receive-side max+1 update, and surface the
+  // library-level error/busy flags if the target set them.
   h->header.lamport = resp.lamport;
-  h->header.flags |= (resp.flags & kFlagError);
+  h->header.flags |= (resp.flags & (kFlagError | kFlagBusy));
 
   auto cbit = completion_cbs_.find(resp.op_seq);
   if (cbit == completion_cbs_.end()) return;

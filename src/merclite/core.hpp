@@ -45,6 +45,10 @@ inline constexpr std::uint8_t kFlagEagerOverflow = 0x1;
 inline constexpr std::uint8_t kFlagTracing = 0x2;
 /// Response carries a library-level error (no matching handler/provider).
 inline constexpr std::uint8_t kFlagError = 0x4;
+/// Response is an admission-control early-reject: the target's handler pool
+/// was over its backpressure watermark and the request was never dispatched.
+/// The origin should back off and retry (margolite::Instance::forward_retry).
+inline constexpr std::uint8_t kFlagBusy = 0x8;
 
 struct ClassConfig {
   /// Eager buffer limit: request bodies beyond this take the internal-RDMA
@@ -170,6 +174,11 @@ class Class {
 
   /// OFI_max_events is runtime-tunable (configuration C6 raises it).
   void set_max_events(std::size_t n) noexcept { config_.max_events = n; }
+
+  /// The eager-vs-RDMA overflow threshold is runtime-tunable too — also
+  /// reachable through the writable `eager_buffer_size` PVAR, which is how
+  /// the adaptive controller retunes it.
+  void set_eager_limit(std::size_t n) noexcept { config_.eager_limit = n; }
 
   /// Register an RPC by name. The id is the FNV-1a hash of the name, so
   /// origin and target agree without an exchange. `on_arrival` may be empty

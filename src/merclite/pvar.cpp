@@ -28,8 +28,27 @@ const char* to_string(PvarBind b) noexcept {
 
 int PvarRegistry::add(PvarInfo info, PvarReader reader) {
   assert(reader && "PVAR requires a reader");
-  vars_.push_back(Entry{std::move(info), std::move(reader)});
+  info.writable = false;
+  vars_.push_back(Entry{std::move(info), std::move(reader), nullptr});
   return static_cast<int>(vars_.size()) - 1;
+}
+
+int PvarRegistry::add(PvarInfo info, PvarReader reader, PvarWriter writer) {
+  assert(reader && "PVAR requires a reader");
+  assert(writer && "writable PVAR requires a writer");
+  info.writable = true;
+  vars_.push_back(
+      Entry{std::move(info), std::move(reader), std::move(writer)});
+  return static_cast<int>(vars_.size()) - 1;
+}
+
+void PvarRegistry::write(int index, double value) {
+  auto& entry = vars_.at(static_cast<std::size_t>(index));
+  if (!entry.writer) {
+    throw std::logic_error("PvarRegistry: PVAR '" + entry.info.name +
+                           "' is read-only");
+  }
+  entry.writer(value);
 }
 
 int PvarRegistry::find(const std::string& name) const noexcept {
@@ -72,4 +91,13 @@ double PvarSession::read(PvarHandle h, const Handle* obj) const {
   return registry_->read(h.index, obj);
 }
 
+void PvarSession::write(PvarHandle h, double value) {
+  if (registry_ == nullptr) {
+    throw std::logic_error("PvarSession: write after finalize");
+  }
+  if (!h.valid()) throw std::invalid_argument("PvarSession: invalid handle");
+  registry_->write(h.index, value);
+}
+
 }  // namespace sym::hg
+

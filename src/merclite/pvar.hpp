@@ -9,9 +9,15 @@
 //   2. query supported PVARs      -> count() / info(i)
 //   3. allocate handles           -> alloc()
 //   4. sample                     -> read(handle [, hg handle object])
-//   5. finalize the session       -> PvarSession destructor / finalize()
+//   5. optionally tune            -> write(handle, value)   [writable PVARs]
+//   6. finalize the session       -> PvarSession destructor / finalize()
 //
 // PVAR classes follow Table I; the concrete variables follow Table II.
+// Writable PVARs extend the paper's read-only interface with the control
+// channel its §VII future work calls for: a tool (or the in-stack adaptive
+// controller) can retune library thresholds — e.g. the eager-vs-RDMA
+// overflow limit — through the same tool interface it samples from. The
+// full catalogue, units and paper-table references are in docs/PVARS.md.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +40,7 @@ enum class PvarClass : std::uint8_t {
   kLowWatermark,   ///< lowest recorded value
 };
 
+/// @returns the Table I spelling of a PVAR class (e.g. "HIGHWATERMARK").
 [[nodiscard]] const char* to_string(PvarClass c) noexcept;
 
 /// Binding of a PVAR to a library object. NO_OBJECT PVARs are global to the
@@ -43,34 +50,54 @@ enum class PvarBind : std::uint8_t {
   kHandle,
 };
 
+/// @returns the MPI_T-style spelling of a PVAR binding (e.g. "NO_OBJECT").
 [[nodiscard]] const char* to_string(PvarBind b) noexcept;
 
+/// Static description of one exported PVAR, as returned by the
+/// query-supported-PVARs step of the session protocol.
 struct PvarInfo {
-  std::string name;
-  std::string description;
-  PvarClass cls{};
-  PvarBind bind{};
+  std::string name;         ///< stable lookup key (Table II "Name")
+  std::string description;  ///< human-readable summary
+  PvarClass cls{};          ///< Table I class
+  PvarBind bind{};          ///< object binding
+  /// True when the PVAR accepts writes (a runtime-tunable control knob,
+  /// e.g. `eager_buffer_size`). Read-only PVARs reject PvarSession::write.
+  bool writable = false;
 };
 
 /// Reader callback: samples a PVAR's current value. For HANDLE-bound PVARs
 /// the second argument must be the bound handle; NO_OBJECT readers ignore it.
 using PvarReader = std::function<double(const Handle*)>;
 
+/// Writer callback backing a writable PVAR: applies a new value to the
+/// library-internal knob the PVAR exposes.
+using PvarWriter = std::function<void(double)>;
+
 /// The library-side registry of exported PVARs (owned by hg::Class).
 class PvarRegistry {
  public:
-  /// Register a PVAR; returns its stable index.
+  /// Register a read-only PVAR; returns its stable index.
   int add(PvarInfo info, PvarReader reader);
 
+  /// Register a writable PVAR (a control knob). `info.writable` is forced
+  /// to true; returns the stable index.
+  int add(PvarInfo info, PvarReader reader, PvarWriter writer);
+
+  /// @returns the number of exported PVARs.
   [[nodiscard]] int count() const noexcept {
     return static_cast<int>(vars_.size());
   }
+  /// @returns the static description of the PVAR at `index`.
   [[nodiscard]] const PvarInfo& info(int index) const {
     return vars_.at(static_cast<std::size_t>(index)).info;
   }
+  /// Sample the PVAR at `index` (`h` only for HANDLE-bound PVARs).
   [[nodiscard]] double read(int index, const Handle* h) const {
     return vars_.at(static_cast<std::size_t>(index)).reader(h);
   }
+  /// Apply `value` to the writable PVAR at `index`.
+  /// @throws std::logic_error when the PVAR is read-only.
+  void write(int index, double value);
 
   /// Index lookup by name; -1 if unknown.
   [[nodiscard]] int find(const std::string& name) const noexcept;
@@ -79,6 +106,7 @@ class PvarRegistry {
   struct Entry {
     PvarInfo info;
     PvarReader reader;
+    PvarWriter writer;  ///< empty for read-only PVARs
   };
   std::vector<Entry> vars_;
 };
@@ -89,16 +117,18 @@ struct PvarHandle {
   [[nodiscard]] bool valid() const noexcept { return index >= 0; }
 };
 
-/// A tool's sampling session against one hg::Class's registry.
+/// A tool's sampling (and tuning) session against one hg::Class's registry.
 class PvarSession {
  public:
-  PvarSession(const PvarRegistry& registry, std::uint32_t session_id)
+  PvarSession(PvarRegistry& registry, std::uint32_t session_id)
       : registry_(&registry), id_(session_id) {}
 
   [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
   [[nodiscard]] bool active() const noexcept { return registry_ != nullptr; }
 
+  /// @returns the number of PVARs exported by the attached registry.
   [[nodiscard]] int count() const { return registry_->count(); }
+  /// @returns the static description of the PVAR at `index`.
   [[nodiscard]] const PvarInfo& info(int index) const {
     return registry_->info(index);
   }
@@ -112,18 +142,24 @@ class PvarSession {
   /// Sample a PVAR. HANDLE-bound PVARs require the bound hg handle.
   [[nodiscard]] double read(PvarHandle h, const Handle* obj = nullptr) const;
 
+  /// Tune a writable PVAR to `value` (the §VII control channel).
+  /// @throws std::logic_error  when the PVAR is read-only or the session
+  ///                           was finalized.
+  void write(PvarHandle h, double value);
+
   /// Release all handles and detach from the registry.
   void finalize() noexcept {
     registry_ = nullptr;
     allocated_ = 0;
   }
 
+  /// @returns how many handles this session has allocated (diagnostics).
   [[nodiscard]] std::uint32_t allocated_handles() const noexcept {
     return allocated_;
   }
 
  private:
-  const PvarRegistry* registry_;
+  PvarRegistry* registry_;
   std::uint32_t id_;
   std::uint32_t allocated_ = 0;
 };

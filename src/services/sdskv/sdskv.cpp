@@ -222,7 +222,11 @@ margo::PendingOpPtr Client::iput_packed(ofi::EpAddr target,
 }
 
 Status Client::finish_put_packed(const margo::PendingOpPtr& op) {
-  const auto& resp = op->wait();
+  // Busy early-rejects (admission control) are retried with backoff; the
+  // request input and bulk attachment stay on the handle, so the op can be
+  // re-forwarded as-is.
+  const auto& resp = op->wait_retry();
+  if (op->busy()) return Status::kBusy;
   return static_cast<Status>(hg::decode<std::uint8_t>(resp));
 }
 

@@ -25,7 +25,14 @@
 
 namespace sym::sdskv {
 
-enum class Status : std::uint8_t { kOk = 0, kNotFound = 1, kBadDb = 2 };
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kBadDb = 2,
+  /// Still early-rejected by target-side admission control after the
+  /// retry/backoff schedule was exhausted.
+  kBusy = 3,
+};
 
 struct ProviderConfig {
   BackendType backend = BackendType::kMap;

@@ -87,6 +87,34 @@ const char* to_string(Interval iv) noexcept {
   return "?";
 }
 
+// ---------------------------------------------------------------------------
+// Action spans
+// ---------------------------------------------------------------------------
+
+std::array<TraceEvent, 4> make_action_span(std::uint64_t request_id,
+                                           Breadcrumb breadcrumb,
+                                           std::uint32_t self_ep,
+                                           sim::TimeNs start_ts,
+                                           sim::TimeNs end_ts,
+                                           std::uint64_t lamport_base) {
+  std::array<TraceEvent, 4> out{};
+  constexpr TraceEventKind kKinds[4] = {
+      TraceEventKind::kOriginStart, TraceEventKind::kTargetStart,
+      TraceEventKind::kTargetEnd, TraceEventKind::kOriginEnd};
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    TraceEvent& ev = out[i];
+    ev.request_id = request_id;
+    ev.order = i;  // base_order 0: the action is its own root span
+    ev.kind = kKinds[i];
+    ev.breadcrumb = breadcrumb;
+    ev.self_ep = self_ep;
+    ev.peer_ep = self_ep;  // self-targeted: the actor adapts itself
+    ev.local_ts = i < 2 ? start_ts : end_ts;
+    ev.lamport = lamport_base + i + 1;
+  }
+  return out;
+}
+
 const char* to_string(TraceEventKind k) noexcept {
   switch (k) {
     case TraceEventKind::kOriginStart: return "origin_start";

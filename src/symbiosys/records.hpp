@@ -6,6 +6,7 @@
 // paper's analysis scripts ingest.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <unordered_map>
@@ -165,6 +166,20 @@ struct TraceEvent {
   float num_ofi_events_read = 0;
   float num_posted_handles = 0;
 };
+
+/// Synthesize the four trace events of a self-contained **action span** —
+/// the record of one adaptation action taken by the in-stack controller
+/// (margolite's PolicyEngine). The span's origin and target are the acting
+/// process itself; it stitches through TraceSummary, renders in
+/// format_request, and exports to Zipkin exactly like an RPC span, so
+/// adaptation is observable in the same traces it reacts to. The action
+/// name must be registered with NameRegistry (breadcrumb = hash16(name)).
+///
+/// `start_ts`/`end_ts` are node-local timestamps of detection and
+/// application; `lamport_base` numbers the four events `+1..+4`.
+[[nodiscard]] std::array<TraceEvent, 4> make_action_span(
+    std::uint64_t request_id, Breadcrumb breadcrumb, std::uint32_t self_ep,
+    sim::TimeNs start_ts, sim::TimeNs end_ts, std::uint64_t lamport_base);
 
 /// The per-process trace buffer.
 class TraceStore {
