@@ -18,7 +18,10 @@
 #include "simkit/fiber.hpp"
 #include "simkit/rng.hpp"
 #include "sofi/fabric.hpp"
+#include "symbiosys/analysis.hpp"
 #include "symbiosys/breadcrumb.hpp"
+#include "symbiosys/records.hpp"
+#include "symbiosys/zipkin.hpp"
 
 namespace sim = sym::sim;
 namespace hg = sym::hg;
@@ -75,6 +78,52 @@ static void BM_BreadcrumbHashAndExtend(benchmark::State& state) {
 }
 BENCHMARK(BM_BreadcrumbHashAndExtend);
 
+static void BM_ProfileStoreRecordSameKey(benchmark::State& state) {
+  // The memo fast path: a handler recording intervals back to back on one
+  // callpath key (the dominant pattern on the measurement hot path).
+  prof::ProfileStore store;
+  const prof::CallpathKey key{prof::extend(0x1111, 0x55AA),
+                              prof::Side::kTarget, 100, 3};
+  double ns = 1;
+  for (auto _ : state) {
+    store.record(key, prof::Interval::kTargetExec, ns);
+    ns += 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileStoreRecordSameKey);
+
+static void BM_ProfileStoreRecordWorkingSet(benchmark::State& state) {
+  // Cycling over a working set of callpath keys: every record misses the
+  // memo and exercises the open-addressing probe.
+  prof::ProfileStore store;
+  std::vector<prof::CallpathKey> keys;
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    keys.push_back({prof::extend(0x1111, 0x55AA), prof::Side::kOrigin, c, 100});
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    store.record(keys[i % keys.size()], prof::Interval::kOriginExec, 5.0);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfileStoreRecordWorkingSet);
+
+static void BM_TraceStoreAppend(benchmark::State& state) {
+  // Chunked-arena append: constant-time, never a full-buffer reallocation.
+  prof::TraceStore store;
+  prof::TraceEvent ev;
+  ev.request_id = 7;
+  ev.breadcrumb = 0x1234;
+  for (auto _ : state) {
+    ev.local_ts += 10;
+    store.append(ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceStoreAppend);
+
 static void BM_PvarSessionRead(benchmark::State& state) {
   sim::Engine eng;
   sim::Cluster cluster(eng, sim::ClusterParams{.node_count = 1});
@@ -90,6 +139,36 @@ static void BM_PvarSessionRead(benchmark::State& state) {
   benchmark::DoNotOptimize(sink);
 }
 BENCHMARK(BM_PvarSessionRead);
+
+static void BM_ZipkinExport(benchmark::State& state) {
+  // Incremental export path: parent links come precomputed from
+  // TraceSummary::build and the output string is reserved once, so the
+  // per-span work is one snprintf + one append — no heap churn.
+  prof::NameRegistry::global().register_name("bench_rpc");
+  const auto bc = prof::hash16("bench_rpc");
+  prof::TraceStore store;
+  const auto n_spans = static_cast<std::uint64_t>(state.range(0));
+  for (std::uint64_t i = 0; i < n_spans; ++i) {
+    const auto span = prof::make_action_span(
+        /*request_id=*/i + 1, bc, /*self_ep=*/3, /*start_ts=*/1000 * (i + 1),
+        /*end_ts=*/1000 * (i + 1) + 500, /*lamport_base=*/4 * i);
+    for (const auto& ev : span) store.append(ev);
+  }
+  const auto summary = prof::TraceSummary::build({&store});
+  for (auto _ : state) {
+    auto json = prof::to_zipkin_json(summary);
+    // If the up-front reserve had under-estimated, the append loop would
+    // have reallocated; output fitting inside the reserve proves it didn't.
+    if (json.size() > 8 + summary.total_spans * 512) {
+      state.SkipWithError("zipkin export outgrew its reserve (heap churn)");
+      break;
+    }
+    benchmark::DoNotOptimize(json);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(summary.total_spans));
+}
+BENCHMARK(BM_ZipkinExport)->Arg(64)->Arg(1024);
 
 // ---------------------------------------------------------------------------
 // Wire serialization

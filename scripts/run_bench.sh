@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Build (if needed) and run the benchmark suite, collecting machine-readable
+# results as BENCH_*.json in the output directory.
+#
+# Usage: scripts/run_bench.sh [build-dir] [out-dir]
+#   build-dir  CMake build tree (default: build)
+#   out-dir    where BENCH_*.json land (default: <build-dir>/bench-results)
+#
+# Set SYM_BENCH_SMOKE=1 for the fast CI variant (same flags the bench_smoke
+# ctest label uses).
+
+set -eu
+
+root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$root/build"}
+out=${2:-"$build/bench-results"}
+
+if [ ! -f "$build/CMakeCache.txt" ]; then
+  cmake -S "$root" -B "$build"
+fi
+cmake --build "$build" -j"$(nproc 2>/dev/null || echo 2)"
+
+mkdir -p "$out"
+
+smoke_flag=""
+if [ "${SYM_BENCH_SMOKE:-0}" = "1" ]; then
+  smoke_flag="--smoke"
+fi
+
+echo "== overhead_study =="
+# Exits non-zero if the FULL stage exceeds the 1.5x acceptance bound.
+"$build/bench/overhead_study" $smoke_flag --out "$out/BENCH_overhead.json"
+
+echo "== micro_benchmarks =="
+"$build/bench/micro_benchmarks" \
+  --benchmark_out="$out/BENCH_micro.json" \
+  --benchmark_out_format=json \
+  ${smoke_flag:+--benchmark_min_time=0.01}
+
+echo
+echo "results in $out:"
+ls -l "$out"/BENCH_*.json

@@ -73,6 +73,10 @@ Instance::Instance(ofi::Fabric& fabric, sim::Process& process,
   pv_internal_rdma_ = pvar_session_.alloc("internal_rdma_transfer_time");
   pv_origin_cb_ = pvar_session_.alloc("origin_completion_callback_time");
   pv_output_deser_ = pvar_session_.alloc("output_deserialization_time");
+
+  // Bounded-memory flight-recorder mode, when configured.
+  trace_.set_ring_chunks(cfg_.trace_ring_chunks);
+  sysstats_.set_ring_chunks(cfg_.sysstat_ring_chunks);
 }
 
 Instance::~Instance() = default;
@@ -336,18 +340,24 @@ void Instance::complete_op(PendingOp& op) {
              op.base_order + 3, op.bc, h->peer_addr());
 
   prof::CallpathKey key{op.bc, prof::Side::kOrigin, addr(), h->peer_addr()};
-  profile_.record(key, prof::Interval::kOriginExec,
-                  static_cast<double>(op.t14 - op.t1));
   sim::DurationNs cost = kProfileRecordCost;
   if (cfg_.instr == prof::Level::kFull) {
-    // Origin-side HANDLE-bound PVARs, sampled at t14 (Table III).
-    profile_.record(key, prof::Interval::kInputSer,
-                    pvar_session_.read(pv_input_ser_, h.get()));
-    profile_.record(key, prof::Interval::kOriginCallback,
-                    pvar_session_.read(pv_origin_cb_, h.get()));
-    profile_.record(key, prof::Interval::kOutputDeser,
-                    pvar_session_.read(pv_output_deser_, h.get()));
+    // Origin-side HANDLE-bound PVARs, sampled at t14 (Table III) and
+    // recorded in one batch with the execution envelope.
+    record_profile_batch(
+        key,
+        prof::IntervalSample{prof::Interval::kOriginExec,
+                             static_cast<double>(op.t14 - op.t1)},
+        prof::IntervalSample{prof::Interval::kInputSer,
+                             pvar_session_.read(pv_input_ser_, h.get())},
+        prof::IntervalSample{prof::Interval::kOriginCallback,
+                             pvar_session_.read(pv_origin_cb_, h.get())},
+        prof::IntervalSample{prof::Interval::kOutputDeser,
+                             pvar_session_.read(pv_output_deser_, h.get())});
     cost += 3 * kPvarSampleCost;
+  } else {
+    record_profile(key, prof::Interval::kOriginExec,
+                   static_cast<double>(op.t14 - op.t1));
   }
   charge(cost);
 }
@@ -475,20 +485,31 @@ void Instance::run_handler(hg::HandlePtr h, const Handler& handler,
   if (cfg_.instr >= prof::Level::kStage2) {
     prof::CallpathKey key{h->header.breadcrumb, prof::Side::kTarget, addr(),
                           h->peer_addr()};
-    profile_.record(key, prof::Interval::kHandlerWait,
-                    static_cast<double>(t5 - t4));
-    profile_.record(key, prof::Interval::kTargetExec,
-                    static_cast<double>(t8 - t5));
     sim::DurationNs cost = kProfileRecordCost;
     if (cfg_.instr == prof::Level::kFull) {
-      // Target-side HANDLE-bound PVARs (Table III).
-      profile_.record(key, prof::Interval::kInputDeser,
-                      pvar_session_.read(pv_input_deser_, h.get()));
-      profile_.record(key, prof::Interval::kOutputSer,
-                      pvar_session_.read(pv_output_ser_, h.get()));
-      profile_.record(key, prof::Interval::kInternalRdma,
-                      pvar_session_.read(pv_internal_rdma_, h.get()));
+      // Target-side HANDLE-bound PVARs (Table III), batched with the
+      // handler-wait and execution envelopes.
+      record_profile_batch(
+          key,
+          prof::IntervalSample{prof::Interval::kHandlerWait,
+                               static_cast<double>(t5 - t4)},
+          prof::IntervalSample{prof::Interval::kTargetExec,
+                               static_cast<double>(t8 - t5)},
+          prof::IntervalSample{prof::Interval::kInputDeser,
+                               pvar_session_.read(pv_input_deser_, h.get())},
+          prof::IntervalSample{prof::Interval::kOutputSer,
+                               pvar_session_.read(pv_output_ser_, h.get())},
+          prof::IntervalSample{
+              prof::Interval::kInternalRdma,
+              pvar_session_.read(pv_internal_rdma_, h.get())});
       cost += 3 * kPvarSampleCost;
+    } else {
+      record_profile_batch(
+          key,
+          prof::IntervalSample{prof::Interval::kHandlerWait,
+                               static_cast<double>(t5 - t4)},
+          prof::IntervalSample{prof::Interval::kTargetExec,
+                               static_cast<double>(t8 - t5)});
     }
     charge(cost);
   }
@@ -509,9 +530,8 @@ void Request::respond(std::vector<std::byte> output) {
   if (inst_.level() >= prof::Level::kStage2) {
     on_sent = [inst, key, t8](const hg::HandlePtr&) {
       // t13: the response left the node; record t8 -> t13.
-      inst->profile().record(
-          key, prof::Interval::kTargetCallback,
-          static_cast<double>(inst->engine().now() - t8));
+      inst->record_profile(key, prof::Interval::kTargetCallback,
+                           static_cast<double>(inst->engine().now() - t8));
     };
   }
   inst_.hg_class().respond(h_, std::move(output), std::move(on_sent));

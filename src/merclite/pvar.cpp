@@ -66,7 +66,7 @@ PvarHandle PvarSession::alloc(int index) {
     throw std::out_of_range("PvarSession: bad PVAR index");
   }
   ++allocated_;
-  return PvarHandle{index};
+  return PvarHandle{index, registry_->info(index).bind};
 }
 
 PvarHandle PvarSession::alloc(const std::string& name) {
@@ -76,7 +76,7 @@ PvarHandle PvarSession::alloc(const std::string& name) {
   const int idx = registry_->find(name);
   if (idx < 0) return PvarHandle{};
   ++allocated_;
-  return PvarHandle{idx};
+  return PvarHandle{idx, registry_->info(idx).bind};
 }
 
 double PvarSession::read(PvarHandle h, const Handle* obj) const {
@@ -84,7 +84,9 @@ double PvarSession::read(PvarHandle h, const Handle* obj) const {
     throw std::logic_error("PvarSession: read after finalize");
   }
   if (!h.valid()) throw std::invalid_argument("PvarSession: invalid handle");
-  if (registry_->info(h.index).bind == PvarBind::kHandle && obj == nullptr) {
+  // The binding cached in the handle at alloc time replaces a per-sample
+  // PvarInfo lookup — sampling is on the measurement hot path.
+  if (h.bind == PvarBind::kHandle && obj == nullptr) {
     throw std::invalid_argument(
         "PvarSession: HANDLE-bound PVAR requires an hg handle");
   }

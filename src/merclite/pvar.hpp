@@ -91,9 +91,12 @@ class PvarRegistry {
   [[nodiscard]] const PvarInfo& info(int index) const {
     return vars_.at(static_cast<std::size_t>(index)).info;
   }
-  /// Sample the PVAR at `index` (`h` only for HANDLE-bound PVARs).
+  /// Sample the PVAR at `index` (`h` only for HANDLE-bound PVARs). The
+  /// index is validated once at handle-allocation time; sampling itself is
+  /// a hot path (every trace event reads up to three PVARs) and does no
+  /// bounds re-check.
   [[nodiscard]] double read(int index, const Handle* h) const {
-    return vars_.at(static_cast<std::size_t>(index)).reader(h);
+    return vars_[static_cast<std::size_t>(index)].reader(h);
   }
   /// Apply `value` to the writable PVAR at `index`.
   /// @throws std::logic_error when the PVAR is read-only.
@@ -111,9 +114,12 @@ class PvarRegistry {
   std::vector<Entry> vars_;
 };
 
-/// An allocated handle on one PVAR within a session.
+/// An allocated handle on one PVAR within a session. The binding is cached
+/// at allocation time so the per-sample path never touches the registry's
+/// PvarInfo table.
 struct PvarHandle {
   int index = -1;
+  PvarBind bind = PvarBind::kNoObject;
   [[nodiscard]] bool valid() const noexcept { return index >= 0; }
 };
 

@@ -1,39 +1,128 @@
 #include "simkit/engine.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace sym::sim {
 
+// ---------------------------------------------------------------------------
+// Slot table
+// ---------------------------------------------------------------------------
+
+std::uint32_t Engine::acquire_slot() {
+  std::uint32_t idx;
+  if (free_head_ != kNoFreeSlot) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.in_use = true;
+  s.cancelled = false;
+  return idx;
+}
+
+void Engine::release_slot(std::uint32_t idx) noexcept {
+  Slot& s = slots_[idx];
+  s.cb = nullptr;
+  s.in_use = false;
+  s.cancelled = false;
+  ++s.generation;  // invalidate every outstanding id for this slot
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary heap
+// ---------------------------------------------------------------------------
+
+void Engine::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::HeapEntry Engine::heap_pop() {
+  assert(!heap_.empty());
+  const HeapEntry top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+void Engine::drop_cancelled_top() {
+  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
+    release_slot(heap_pop().slot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
 Engine::EventId Engine::at(TimeNs t, Callback cb) {
   assert(cb && "scheduling an empty callback");
   if (t < now_) t = now_;  // no scheduling into the past
-  const EventId id = next_id_++;
-  heap_.push(Ev{t, id, std::move(cb)});
-  return id;
+  const std::uint32_t idx = acquire_slot();
+  slots_[idx].cb = std::move(cb);
+  heap_push(HeapEntry{t, next_seq_++, idx});
+  ++pending_;
+  return (static_cast<EventId>(slots_[idx].generation) << 32) | idx;
 }
 
 bool Engine::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return false;
-  // Lazy cancellation: the heap entry stays in place and is skipped when it
-  // surfaces. This keeps cancel() O(1) at the cost of a set lookup per pop.
-  const bool inserted = cancelled_.insert(id).second;
-  if (inserted) ++cancelled_live_;
-  return inserted;
+  const auto idx = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  if (idx >= slots_.size()) return false;
+  Slot& s = slots_[idx];
+  // A fired or re-used slot fails the generation check: cancelling a stale
+  // id is a no-op, with no tombstone left behind. The heap entry stays in
+  // place and is dropped with a flag test when it surfaces.
+  if (!s.in_use || s.generation != gen || s.cancelled) return false;
+  s.cancelled = true;
+  s.cb = nullptr;  // free captured state eagerly
+  --pending_;
+  return true;
 }
 
 bool Engine::pop_and_run() {
   while (!heap_.empty()) {
-    Ev ev = std::move(const_cast<Ev&>(heap_.top()));
-    heap_.pop();
-    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-      cancelled_.erase(it);
-      --cancelled_live_;
+    const HeapEntry top = heap_pop();
+    Slot& s = slots_[top.slot];
+    if (s.cancelled) {
+      release_slot(top.slot);
       continue;
     }
-    now_ = ev.t;
+    now_ = top.t;
     ++processed_;
-    ev.cb();
+    --pending_;
+    Callback cb = std::move(s.cb);
+    // Release before running: a callback cancelling its own (now stale) id
+    // or scheduling new events must see a consistent slot table.
+    release_slot(top.slot);
+    cb();
     return true;
   }
   return false;
@@ -47,14 +136,10 @@ void Engine::run() {
 }
 
 void Engine::run_until(TimeNs deadline) {
-  while (!stopped_ && !heap_.empty()) {
-    // Skip over cancelled entries to find the true next event time.
-    while (!heap_.empty() && cancelled_.count(heap_.top().id) != 0) {
-      cancelled_.erase(heap_.top().id);
-      --cancelled_live_;
-      heap_.pop();
-    }
-    if (heap_.empty() || heap_.top().t > deadline) break;
+  while (!stopped_) {
+    // Surface the true next live event before testing the deadline.
+    drop_cancelled_top();
+    if (heap_.empty() || heap_[0].t > deadline) break;
     pop_and_run();
   }
 }

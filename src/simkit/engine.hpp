@@ -8,12 +8,23 @@
 // The engine is strictly single-threaded: events with equal timestamps are
 // executed in insertion order (FIFO tie-break via a sequence number), which
 // together with the seeded Rng makes entire experiments bit-reproducible.
+//
+// Every timer in the stack funnels through this queue, so its operations
+// are engineered for constant factors:
+//
+//  * Events live in a slot table with generation-tagged ids
+//    (id = generation << 32 | slot). cancel() is a direct O(1) slot access
+//    — no hash-set insert, and a stale id from a fired event simply fails
+//    the generation check instead of poisoning a tombstone set.
+//  * The priority queue is an explicit 4-ary heap: shallower than a binary
+//    heap (log_4 n levels) and with all four children of a node on one
+//    cache line's worth of entries, which measurably speeds up the
+//    sift-down on pop. Cancelled entries are skipped with a flag test when
+//    they surface, not a set lookup per pop.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "simkit/rng.hpp"
@@ -25,7 +36,8 @@ class Engine {
  public:
   using Callback = std::function<void()>;
 
-  /// Opaque handle for cancelling a scheduled event.
+  /// Opaque handle for cancelling a scheduled event. Encodes a slot index
+  /// and a generation tag; 0 is never a valid id.
   using EventId = std::uint64_t;
 
   explicit Engine(std::uint64_t seed = 0x5EEDC0DEULL) : rng_(seed) {}
@@ -46,7 +58,8 @@ class Engine {
   EventId after(DurationNs d, Callback cb) { return at(now_ + d, std::move(cb)); }
 
   /// Cancel a previously scheduled event. Safe to call after the event has
-  /// fired (it becomes a no-op). Returns true if the event was still pending.
+  /// fired (the generation check makes it a no-op). Returns true if the
+  /// event was still pending.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or stop() is called.
@@ -68,7 +81,7 @@ class Engine {
   void reset_stop() noexcept { stopped_ = false; }
 
   [[nodiscard]] std::size_t pending_events() const noexcept {
-    return heap_.size() - cancelled_live_;
+    return pending_;
   }
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept {
@@ -76,29 +89,49 @@ class Engine {
   }
 
  private:
-  struct Ev {
+  /// Heap entries are 24 bytes (no callback): the callback lives in the
+  /// slot table, so sift operations move small PODs only.
+  struct HeapEntry {
     TimeNs t;
-    EventId id;
+    std::uint64_t seq;  ///< monotonically increasing FIFO tie-break
+    std::uint32_t slot;
+  };
+
+  struct Slot {
     Callback cb;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+    bool cancelled = false;
   };
-  struct EvCmp {
-    bool operator()(const Ev& a, const Ev& b) const noexcept {
-      // std::priority_queue is a max-heap; invert for earliest-first, with
-      // the monotonically increasing id as a FIFO tie-break.
-      if (a.t != b.t) return a.t > b.t;
-      return a.id > b.id;
-    }
-  };
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
 
   bool pop_and_run();
 
+  [[nodiscard]] static bool before(const HeapEntry& a,
+                                   const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx) noexcept;
+
+  void heap_push(HeapEntry e);
+  /// Remove and return the top entry (caller checks non-empty).
+  HeapEntry heap_pop();
+  /// Drop cancelled entries off the top, releasing their slots.
+  void drop_cancelled_top();
+
   TimeNs now_ = 0;
   bool stopped_ = false;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
-  std::size_t cancelled_live_ = 0;
-  std::priority_queue<Ev, std::vector<Ev>, EvCmp> heap_;
-  std::unordered_set<EventId> cancelled_;
+  std::size_t pending_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
   Rng rng_;
 };
 

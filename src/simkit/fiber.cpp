@@ -6,10 +6,50 @@
 #include <utility>
 #include <vector>
 
+// AddressSanitizer tracks one stack per thread; ucontext switches move
+// execution to heap-allocated fiber stacks behind its back, which produces
+// false "stack-buffer-overflow" reports deep in fiber frames. The
+// __sanitizer_{start,finish}_switch_fiber handshake tells ASan about every
+// switch: start_switch announces the destination stack before jumping,
+// finish_switch runs first thing on the destination. Plain builds compile
+// the helpers to nothing.
+#if defined(__SANITIZE_ADDRESS__)
+#define SYM_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define SYM_ASAN_FIBERS 1
+#endif
+#endif
+#ifdef SYM_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace sym::sim {
 namespace {
 
 thread_local Fiber* g_current_fiber = nullptr;
+
+inline void asan_start_switch(void** fake_stack_save, const void* bottom,
+                              std::size_t size) {
+#ifdef SYM_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(fake_stack_save, bottom, size);
+#else
+  (void)fake_stack_save;
+  (void)bottom;
+  (void)size;
+#endif
+}
+
+inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
+                               std::size_t* size_old) {
+#ifdef SYM_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(fake_stack_save, bottom_old, size_old);
+#else
+  (void)fake_stack_save;
+  (void)bottom_old;
+  (void)size_old;
+#endif
+}
 
 }  // namespace
 
@@ -72,9 +112,16 @@ Fiber* Fiber::current() noexcept { return g_current_fiber; }
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
+  // First instruction on the fiber stack: complete the switch ASan was told
+  // about in switch_in(), remembering the scheduler stack for the way back.
+  asan_finish_switch(nullptr, &self->asan_sched_bottom_,
+                     &self->asan_sched_size_);
   self->run_entry();
   // Mark finished *before* the implicit uc_link switch back to the scheduler.
   self->finished_ = true;
+  // The fiber is dying: a null fake-stack-save releases its ASan fake stack.
+  asan_start_switch(nullptr, self->asan_sched_bottom_,
+                    self->asan_sched_size_);
   // Falling off the trampoline follows uc_link (return_ctx_), landing back
   // in switch_in()'s caller.
 }
@@ -98,19 +145,29 @@ void Fiber::switch_in() {
   ++switches_;
   Fiber* prev = g_current_fiber;
   g_current_fiber = this;
+  void* sched_fake_stack = nullptr;
+  asan_start_switch(&sched_fake_stack, stack_->base(), stack_->size());
   if (swapcontext(&return_ctx_, &ctx_) != 0) {
     g_current_fiber = prev;
     throw std::runtime_error("swapcontext into fiber failed");
   }
+  // Back on the scheduler stack (fiber suspended or finished).
+  asan_finish_switch(sched_fake_stack, nullptr, nullptr);
   g_current_fiber = prev;
 }
 
 void Fiber::switch_out() {
   Fiber* self = g_current_fiber;
   assert(self != nullptr && "switch_out() called outside any fiber");
+  asan_start_switch(&self->asan_fake_stack_, self->asan_sched_bottom_,
+                    self->asan_sched_size_);
   if (swapcontext(&self->ctx_, &self->return_ctx_) != 0) {
     throw std::runtime_error("swapcontext out of fiber failed");
   }
+  // Resumed by a later switch_in(); refresh the scheduler-stack bounds in
+  // case the resume came from a different frame.
+  asan_finish_switch(self->asan_fake_stack_, &self->asan_sched_bottom_,
+                     &self->asan_sched_size_);
 }
 
 }  // namespace sym::sim

@@ -100,6 +100,14 @@ class Fiber {
   bool started_ = false;
   bool finished_ = false;
   std::uint64_t switches_ = 0;
+
+  // AddressSanitizer fiber-switch bookkeeping (unused in plain builds, kept
+  // unconditional so the layout does not depend on build flags): the
+  // fiber's fake stack while suspended, and the scheduler stack to restore
+  // on the way out. See __sanitizer_{start,finish}_switch_fiber.
+  void* asan_fake_stack_ = nullptr;
+  const void* asan_sched_bottom_ = nullptr;
+  std::size_t asan_sched_size_ = 0;
 };
 
 }  // namespace sym::sim

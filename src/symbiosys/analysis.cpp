@@ -106,6 +106,9 @@ const CallpathBreakdown* ProfileSummary::find_by_leaf(
 
 std::string ProfileSummary::format(std::size_t top_n) const {
   std::string out;
+  // ~1 header + count line + one line per interval per shown callpath.
+  out.reserve(128 + std::min(top_n, callpaths.size()) *
+                        (static_cast<std::size_t>(Interval::kCount) + 3) * 96);
   out += "=== SYMBIOSYS profile summary: dominant callpaths by cumulative "
          "end-to-end request latency ===\n";
   char line[256];
@@ -292,20 +295,52 @@ TraceSummary TraceSummary::build(
                 }
                 return a.base_order < b.base_order;
               });
+    out.request_index.emplace(rid, out.requests.size());
     out.requests.push_back(std::move(rt));
+  }
+
+  // Pass 4: resolve parent links once per request. A parent is a span whose
+  // breadcrumb is the child's breadcrumb with the leaf popped, that started
+  // no later than the child, and whose interval covers the child's start;
+  // the latest-starting such span wins. Export paths (zipkin, Gantt) used
+  // to re-derive this per span with a full re-scan of the span list.
+  for (auto& rt : out.requests) {
+    std::unordered_map<Breadcrumb, std::vector<std::size_t>> by_bc;
+    by_bc.reserve(rt.spans.size());
+    for (std::size_t i = 0; i < rt.spans.size(); ++i) {
+      by_bc[rt.spans[i].breadcrumb].push_back(i);
+    }
+    for (auto& sp : rt.spans) {
+      const Breadcrumb parent_bc = sp.breadcrumb >> 16;
+      if (parent_bc == 0) continue;
+      const auto it = by_bc.find(parent_bc);
+      if (it == by_bc.end()) continue;
+      // Candidate indices are ascending in origin_start (spans are sorted),
+      // so the last candidate not starting after the child is the winner.
+      std::int32_t best = -1;
+      for (const std::size_t idx : it->second) {
+        const Span& cand = rt.spans[idx];
+        if (cand.origin_start > sp.origin_start) break;
+        if (cand.origin_end != 0 && cand.origin_end < sp.origin_start) {
+          continue;
+        }
+        best = static_cast<std::int32_t>(idx);
+      }
+      sp.parent = best;
+    }
   }
   return out;
 }
 
 const RequestTrace* TraceSummary::find(std::uint64_t request_id) const {
-  for (const auto& rt : requests) {
-    if (rt.request_id == request_id) return &rt;
-  }
-  return nullptr;
+  const auto it = request_index.find(request_id);
+  if (it == request_index.end()) return nullptr;
+  return &requests[it->second];
 }
 
 std::string TraceSummary::format_request(const RequestTrace& rt) const {
   std::string out;
+  out.reserve(64 + rt.spans.size() * 112);  // one pre-sized line per span
   char line[256];
   std::snprintf(line, sizeof(line), "request %llx: %zu spans\n",
                 static_cast<unsigned long long>(rt.request_id),

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "symbiosys/records.hpp"
@@ -82,6 +83,10 @@ struct Span {
   // origin_end (Fig. 12 plots num_ofi_events_read).
   std::uint32_t target_blocked_ults = 0;
   float origin_ofi_events_read = 0;
+  /// Index of the enclosing parent span in RequestTrace::spans, -1 for a
+  /// root span. Resolved once in TraceSummary::build so export paths never
+  /// re-scan the span list per span.
+  std::int32_t parent = -1;
 
   [[nodiscard]] sim::DurationNs duration() const noexcept {
     return origin_end > origin_start ? origin_end - origin_start : 0;
@@ -98,6 +103,9 @@ struct TraceSummary {
   /// Estimated per-endpoint clock offsets (relative to the reference
   /// endpoint) recovered by the skew-correction pass.
   std::map<std::uint32_t, double> clock_offset_ns;
+  /// request_id -> index into `requests`, built once so find() is O(1)
+  /// instead of a linear scan per lookup.
+  std::unordered_map<std::uint64_t, std::size_t> request_index;
   std::size_t total_events = 0;
   std::size_t total_spans = 0;
 

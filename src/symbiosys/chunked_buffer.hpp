@@ -1,0 +1,129 @@
+// symbiosys/chunked_buffer.hpp
+//
+// Chunked arena buffer for append-heavy measurement streams (trace events,
+// system-statistic samples). A growing std::vector periodically copies every
+// element it holds — on a trace buffer with a million events that is a
+// multi-hundred-megabyte reallocation spike right in the middle of the
+// workload being measured. This buffer instead appends into fixed-size
+// chunks: appends never move existing elements, iteration order is stable
+// (oldest to newest), and memory grows one chunk at a time.
+//
+// Ring mode bounds memory for always-on deployments: when the configured
+// chunk budget is reached, the oldest chunk is recycled to the tail and its
+// elements are dropped (counted in dropped()). This is the flight-recorder
+// discipline production tracing systems use so instrumentation can stay on
+// indefinitely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sym::prof {
+
+template <typename T, std::size_t ChunkCap = 1024>
+class ChunkedBuffer {
+  static_assert(ChunkCap > 0);
+
+ public:
+  ChunkedBuffer() = default;
+
+  void push_back(const T& v) { emplace_back() = v; }
+
+  T& emplace_back() {
+    if (chunks_.empty() || chunks_.back()->count == ChunkCap) grow();
+    Chunk& c = *chunks_.back();
+    ++total_appended_;
+    return c.items[c.count++];
+  }
+
+  /// Elements currently held (appended minus dropped by ring eviction).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return total_appended_ - dropped_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Lifetime append count, including ring-evicted elements.
+  [[nodiscard]] std::uint64_t total_appended() const noexcept {
+    return total_appended_;
+  }
+  /// Elements evicted by ring mode so far.
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+  /// Bound the buffer to `max_chunks` chunks (ChunkCap elements each);
+  /// 0 restores unbounded growth. Takes effect on the next append that
+  /// would otherwise allocate a new chunk.
+  void set_ring_chunks(std::size_t max_chunks) noexcept {
+    max_chunks_ = max_chunks;
+  }
+  [[nodiscard]] std::size_t ring_chunks() const noexcept {
+    return max_chunks_;
+  }
+
+  /// Random access by logical index (0 = oldest retained element).
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return chunks_[i / ChunkCap]->items[i % ChunkCap];
+  }
+
+  [[nodiscard]] const T& front() const noexcept { return (*this)[0]; }
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size() - 1]; }
+
+  void clear() {
+    chunks_.clear();
+    total_appended_ = 0;
+    dropped_ = 0;
+  }
+
+  class const_iterator {
+   public:
+    const_iterator(const ChunkedBuffer* buf, std::size_t i)
+        : buf_(buf), i_(i) {}
+    const T& operator*() const { return (*buf_)[i_]; }
+    const T* operator->() const { return &(*buf_)[i_]; }
+    const_iterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    const ChunkedBuffer* buf_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, size()}; }
+
+ private:
+  struct Chunk {
+    T items[ChunkCap];
+    std::size_t count = 0;
+  };
+
+  void grow() {
+    if (max_chunks_ > 0 && chunks_.size() >= max_chunks_) {
+      // Ring eviction: recycle the oldest chunk to the tail. The chunk's
+      // storage is reused, so steady-state ring mode never allocates.
+      auto oldest = std::move(chunks_.front());
+      dropped_ += oldest->count;
+      oldest->count = 0;
+      chunks_.erase(chunks_.begin());
+      chunks_.push_back(std::move(oldest));
+      return;
+    }
+    chunks_.push_back(std::make_unique<Chunk>());
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::size_t max_chunks_ = 0;
+  std::uint64_t total_appended_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace sym::prof

@@ -1,0 +1,164 @@
+// symbiosys/flat_hash.hpp
+//
+// Open-addressing hash map used on the measurement hot path. The paper's
+// overhead argument (§VI-B) only holds if recording a profile interval is
+// near-free, so ProfileStore cannot afford std::unordered_map's
+// node-per-entry allocation and pointer-chasing probe. Keys, values and the
+// occupancy bytes live in three separate arrays: probing touches only the
+// dense key array (a few cache lines for a profile-sized table), the large
+// value payload is loaded exactly once on a hit, and the table allocates
+// nothing after it reaches steady state. Linear probing over a power-of-two
+// capacity keeps iteration deterministic for a given insertion sequence,
+// which keeps experiment output reproducible.
+//
+// The interface is the small subset the measurement path needs: lookup-or-
+// insert, iteration and clear. Erase is deliberately unsupported — profile
+// entries are only ever accumulated, so the table needs no tombstones.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sym::prof {
+
+template <typename Key, typename Value, typename Hash>
+class FlatHashMap {
+ public:
+  /// What dereferencing an iterator yields: a pair-shaped view into the
+  /// split key/value arrays (structured bindings work as with std::pair).
+  struct Ref {
+    const Key& first;
+    const Value& second;
+  };
+
+  FlatHashMap() = default;
+
+  /// Find the entry for `key`, default-constructing it on first use.
+  /// References returned by previous calls are invalidated when the table
+  /// grows.
+  Value& find_or_insert(const Key& key) {
+    if (keys_.empty()) rehash(kMinCapacity);
+    std::size_t i = probe_start(key);
+    while (true) {
+      if (!used_[i]) {
+        if (size_ + 1 > (capacity() * 3) / 4) {  // max load factor 0.75
+          rehash(capacity() * 2);
+          i = probe_start(key);
+          continue;
+        }
+        used_[i] = 1;
+        ++size_;
+        keys_[i] = key;
+        return values_[i];
+      }
+      if (keys_[i] == key) return values_[i];
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Lookup without insertion; nullptr when absent.
+  [[nodiscard]] const Value* find(const Key& key) const noexcept {
+    if (keys_.empty()) return nullptr;
+    std::size_t i = probe_start(key);
+    while (used_[i]) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return keys_.size(); }
+
+  /// Bumped on every rehash; lets callers detect slot invalidation.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
+
+  void clear() {
+    keys_.clear();
+    values_.clear();
+    used_.clear();
+    size_ = 0;
+    mask_ = 0;
+    ++generation_;
+  }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    while ((cap * 3) / 4 < n) cap *= 2;
+    if (cap > capacity()) rehash(cap);
+  }
+
+  /// Forward iteration over occupied slots, in slot order (deterministic
+  /// for a given insertion sequence).
+  class const_iterator {
+   public:
+    const_iterator(const FlatHashMap* map, std::size_t i)
+        : map_(map), i_(i) {
+      skip_free();
+    }
+    Ref operator*() const { return {map_->keys_[i_], map_->values_[i_]}; }
+    struct ArrowProxy {
+      Ref ref;
+      const Ref* operator->() const { return &ref; }
+    };
+    ArrowProxy operator->() const { return {**this}; }
+    const_iterator& operator++() {
+      ++i_;
+      skip_free();
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return i_ == o.i_; }
+    bool operator!=(const const_iterator& o) const { return i_ != o.i_; }
+
+   private:
+    void skip_free() {
+      while (i_ < map_->capacity() && !map_->used_[i_]) ++i_;
+    }
+    const FlatHashMap* map_;
+    std::size_t i_;
+  };
+
+  [[nodiscard]] const_iterator begin() const { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const { return {this, capacity()}; }
+
+ private:
+  static constexpr std::size_t kMinCapacity = 16;
+
+  [[nodiscard]] std::size_t probe_start(const Key& key) const noexcept {
+    return static_cast<std::size_t>(Hash{}(key)) & mask_;
+  }
+
+  void rehash(std::size_t new_cap) {
+    assert((new_cap & (new_cap - 1)) == 0 && "capacity must be a power of 2");
+    std::vector<Key> old_keys = std::move(keys_);
+    std::vector<Value> old_values = std::move(values_);
+    std::vector<std::uint8_t> old_used = std::move(used_);
+    keys_.assign(new_cap, Key{});
+    values_.assign(new_cap, Value{});
+    used_.assign(new_cap, 0);
+    mask_ = new_cap - 1;
+    ++generation_;
+    for (std::size_t i = 0; i < old_keys.size(); ++i) {
+      if (!old_used[i]) continue;
+      std::size_t j = probe_start(old_keys[i]);
+      while (used_[j]) j = (j + 1) & mask_;
+      used_[j] = 1;
+      keys_[j] = old_keys[i];
+      values_[j] = std::move(old_values[i]);
+    }
+  }
+
+  std::vector<Key> keys_;
+  std::vector<Value> values_;
+  std::vector<std::uint8_t> used_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace sym::prof

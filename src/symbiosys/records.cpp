@@ -115,6 +115,20 @@ std::array<TraceEvent, 4> make_action_span(std::uint64_t request_id,
   return out;
 }
 
+CallpathStats& ProfileStore::stats_for_slow(const CallpathKey& key,
+                                            std::size_t slot) {
+  CallpathStats& s = data_.find_or_insert(key);
+  if (data_.generation() != memo_generation_) {
+    // A rehash moved every slot; drop all cached pointers before
+    // re-publishing the one find_or_insert just returned.
+    for (auto& p : memo_vals_) p = nullptr;
+    memo_generation_ = data_.generation();
+  }
+  memo_vals_[slot] = &s;
+  memo_keys_[slot] = key;
+  return s;
+}
+
 const char* to_string(TraceEventKind k) noexcept {
   switch (k) {
     case TraceEventKind::kOriginStart: return "origin_start";

@@ -8,12 +8,14 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "simkit/time.hpp"
 #include "symbiosys/breadcrumb.hpp"
+#include "symbiosys/chunked_buffer.hpp"
+#include "symbiosys/flat_hash.hpp"
 
 namespace sym::prof {
 
@@ -85,13 +87,27 @@ struct CallpathKey {
 
 struct CallpathKeyHash {
   std::size_t operator()(const CallpathKey& k) const noexcept {
+    // Each field is spread with its own odd multiplier before combining, so
+    // no two fields can cancel in a shared bit range (the old scheme packed
+    // `side` and shifted endpoint ids into overlapping low bits, which
+    // degraded badly under power-of-two masking). One xor-shift-multiply
+    // round avalanches the combined word so the low bits the table masks on
+    // depend on every field; this runs on the record miss path, so it stays
+    // at five multiplies total.
     std::uint64_t h = k.breadcrumb * 0x9E3779B97F4A7C15ULL;
-    h ^= (static_cast<std::uint64_t>(k.self_ep) << 33) ^
-         (static_cast<std::uint64_t>(k.peer_ep) << 1) ^
-         static_cast<std::uint64_t>(k.side);
-    h *= 0xBF58476D1CE4E5B9ULL;
-    return static_cast<std::size_t>(h ^ (h >> 29));
+    h ^= static_cast<std::uint64_t>(k.self_ep) * 0xC2B2AE3D27D4EB4FULL;
+    h ^= static_cast<std::uint64_t>(k.peer_ep) * 0x165667B19E3779F9ULL;
+    h ^= static_cast<std::uint64_t>(k.side) * 0x27D4EB2F165667C5ULL;
+    h ^= h >> 32;
+    h *= 0xD6E8FEB86659FD93ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
   }
+};
+
+/// One (interval, duration) measurement, for batched recording.
+struct IntervalSample {
+  Interval iv;
+  double ns;
 };
 
 /// Per-callpath, per-interval statistics for one entity pair.
@@ -107,29 +123,139 @@ struct CallpathStats {
 };
 
 /// The per-process callpath profile (one per margolite instance).
+///
+/// The store sits on the measurement hot path — every instrumented RPC
+/// records 1-6 intervals — so it is built on the open-addressing
+/// FlatHashMap plus a small direct-mapped memo of recently touched
+/// callpaths. A handler records up to five intervals back to back on one
+/// key, clients replay the same RPC in tight loops, and a provider's
+/// execution stream interleaves a handful of client callpaths — all
+/// regimes the memo captures, so the common case is a cheap slot index, a
+/// key compare, and an IntervalStats::add with no probe at all.
 class ProfileStore {
  public:
+  using Map = FlatHashMap<CallpathKey, CallpathStats, CallpathKeyHash>;
+
   void record(const CallpathKey& key, Interval iv, double ns) {
-    data_[key].at(iv).add(ns);
+    stats_for(key).at(iv).add(ns);
+  }
+
+  /// Record several intervals for one key with a single lookup. This is the
+  /// shape of the instrumentation hot path — a completion callback records
+  /// up to five intervals back to back on one callpath — and the unrolled
+  /// adds cost roughly one memo-checked record() for the whole batch.
+  template <typename... Samples>
+  void record_batch(const CallpathKey& key, Samples... samples) {
+    CallpathStats& s = stats_for(key);
+    (s.at(samples.iv).add(samples.ns), ...);
   }
 
   /// Merge pre-aggregated statistics (used by the CSV importer and by
   /// cross-process consolidation).
   void merge_entry(const CallpathKey& key, Interval iv,
                    const IntervalStats& stats) {
-    data_[key].at(iv).merge(stats);
+    stats_for(key).at(iv).merge(stats);
   }
 
-  [[nodiscard]] const std::unordered_map<CallpathKey, CallpathStats,
-                                         CallpathKeyHash>&
-  entries() const noexcept {
-    return data_;
+  /// Merge every entry of `other` into this store (shard consolidation).
+  void merge_store(const ProfileStore& other) {
+    for (const auto& [key, stats] : other.entries()) {
+      CallpathStats& dst = stats_for(key);
+      for (int i = 0; i < static_cast<int>(Interval::kCount); ++i) {
+        dst.intervals[i].merge(stats.intervals[i]);
+      }
+    }
   }
+
+  [[nodiscard]] const Map& entries() const noexcept { return data_; }
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
-  void clear() { data_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  void clear() {
+    data_.clear();
+    for (auto& p : memo_vals_) p = nullptr;
+  }
 
  private:
-  std::unordered_map<CallpathKey, CallpathStats, CallpathKeyHash> data_;
+  /// Direct-mapped memo capacity. 32 slots cover a provider ES serving a
+  /// few dozen interleaved client callpaths; a larger working set degrades
+  /// gracefully to the probe path (the memo is a cache, never authoritative).
+  static constexpr std::size_t kMemoBits = 5;
+  static constexpr std::size_t kMemoSlots = std::size_t{1} << kMemoBits;
+
+  static std::size_t memo_slot(const CallpathKey& key) noexcept {
+    // One multiply over the xor-folded key; top bits index the memo.
+    const std::uint64_t w =
+        key.breadcrumb ^ (static_cast<std::uint64_t>(key.self_ep) << 32) ^
+        key.peer_ep ^ (static_cast<std::uint64_t>(key.side) << 16);
+    return static_cast<std::size_t>((w * 0x9E3779B97F4A7C15ULL) >>
+                                    (64 - kMemoBits));
+  }
+
+  CallpathStats& stats_for(const CallpathKey& key) {
+    // Hit path: slot index, null check, key compare — no probe, no full
+    // hash. The miss path lives out of line (records.cpp) so this stays
+    // small enough to inline into every record()/record_batch() call site.
+    const std::size_t i = memo_slot(key);
+    if (memo_vals_[i] != nullptr && memo_keys_[i] == key) {
+      return *memo_vals_[i];
+    }
+    return stats_for_slow(key, i);
+  }
+
+  /// Probe/insert plus memo re-publication. Memo entries can dangle only
+  /// across a rehash, and a rehash can only happen inside the
+  /// find_or_insert here, which flushes the whole memo (generation test)
+  /// before re-publishing the slot it returned. clear() nulls every slot.
+  CallpathStats& stats_for_slow(const CallpathKey& key, std::size_t slot);
+
+  Map data_;
+  CallpathKey memo_keys_[kMemoSlots]{};
+  CallpathStats* memo_vals_[kMemoSlots]{};
+  std::uint64_t memo_generation_ = 0;
+};
+
+/// Per-execution-stream sharding of the callpath profile. Handler ULTs on
+/// different ESs record into disjoint shards (no shared cache line, no
+/// contention in a real multi-threaded deployment); consolidate_into()
+/// merges shards in rank order into a plain ProfileStore for analysis and
+/// export. Shard references stay stable while the set grows.
+class ShardedProfileStore {
+ public:
+  /// The shard for execution-stream `rank`, created on first use.
+  [[nodiscard]] ProfileStore& shard(std::size_t rank) {
+    while (rank >= shards_.size()) {
+      shards_.push_back(std::make_unique<ProfileStore>());
+    }
+    return *shards_[rank];
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// True when no shard holds any entry (cheap consolidation skip).
+  [[nodiscard]] bool all_empty() const noexcept {
+    for (const auto& s : shards_) {
+      if (!s->empty()) return false;
+    }
+    return true;
+  }
+
+  /// Merge every shard into `target` (rank order, deterministic) and clear
+  /// the shards, so repeated consolidation never double-counts.
+  void consolidate_into(ProfileStore& target) {
+    for (auto& s : shards_) {
+      target.merge_store(*s);
+      s->clear();
+    }
+  }
+
+  void clear() {
+    for (auto& s : shards_) s->clear();
+  }
+
+ private:
+  std::vector<std::unique_ptr<ProfileStore>> shards_;
 };
 
 /// Trace event kinds: t1/t14 on the origin, t5/t8 on the target (§IV-A2).
@@ -181,18 +307,28 @@ struct TraceEvent {
     std::uint64_t request_id, Breadcrumb breadcrumb, std::uint32_t self_ep,
     sim::TimeNs start_ts, sim::TimeNs end_ts, std::uint64_t lamport_base);
 
-/// The per-process trace buffer.
+/// The per-process trace buffer: a chunked arena, so appending an event in
+/// the middle of a measured workload never triggers a full-buffer
+/// reallocation spike. set_ring_chunks() bounds memory for always-on runs
+/// (flight-recorder mode: oldest events are dropped, dropped() counts them).
 class TraceStore {
  public:
+  using Buffer = ChunkedBuffer<TraceEvent, 1024>;
+
   void append(const TraceEvent& ev) { events_.push_back(ev); }
-  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
-    return events_;
-  }
+  [[nodiscard]] const Buffer& events() const noexcept { return events_; }
   [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return events_.dropped();
+  }
+  /// Bound the buffer to `max_chunks` chunks of 1024 events (0 = unbounded).
+  void set_ring_chunks(std::size_t max_chunks) noexcept {
+    events_.set_ring_chunks(max_chunks);
+  }
   void clear() { events_.clear(); }
 
  private:
-  std::vector<TraceEvent> events_;
+  Buffer events_;
 };
 
 /// Periodic system-statistics sample (one row per sampling tick): OS-level
@@ -208,17 +344,26 @@ struct SysStat {
 };
 
 /// Per-process system-statistics buffer, filled by margolite's sampler ULT.
+/// Chunked like TraceStore: the sampler appends one row per tick forever,
+/// so the buffer must neither reallocate nor grow unbounded in ring mode.
 class SysStatStore {
  public:
+  using Buffer = ChunkedBuffer<SysStat, 512>;
+
   void append(const SysStat& s) { samples_.push_back(s); }
-  [[nodiscard]] const std::vector<SysStat>& samples() const noexcept {
-    return samples_;
-  }
+  [[nodiscard]] const Buffer& samples() const noexcept { return samples_; }
   [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return samples_.dropped();
+  }
+  /// Bound the buffer to `max_chunks` chunks of 512 samples (0 = unbounded).
+  void set_ring_chunks(std::size_t max_chunks) noexcept {
+    samples_.set_ring_chunks(max_chunks);
+  }
   void clear() { samples_.clear(); }
 
  private:
-  std::vector<SysStat> samples_;
+  Buffer samples_;
 };
 
 }  // namespace sym::prof

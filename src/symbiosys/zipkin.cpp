@@ -22,29 +22,17 @@ std::uint64_t span_id(const Span& sp) {
   return h == 0 ? 1 : h;
 }
 
-/// Find the enclosing parent span: same request, breadcrumb equal to this
-/// span's ancestry with the leaf removed, and a time interval containing
-/// this span's start. Among candidates, the latest-starting one wins.
-const Span* find_parent(const RequestTrace& rt, const Span& child) {
-  const Breadcrumb parent_bc = child.breadcrumb >> 16;
-  if (parent_bc == 0) return nullptr;
-  const Span* best = nullptr;
-  for (const auto& sp : rt.spans) {
-    if (sp.breadcrumb != parent_bc) continue;
-    if (sp.origin_start > child.origin_start) continue;
-    if (sp.origin_end != 0 && sp.origin_end < child.origin_start) continue;
-    if (best == nullptr || sp.origin_start > best->origin_start) best = &sp;
-  }
-  return best;
-}
-
 void append_span_json(std::string& out, const RequestTrace& rt,
                       const Span& sp, bool& first) {
   if (!first) out += ",\n";
   first = false;
   const auto& reg = NameRegistry::global();
   const std::string name = reg.lookup(leaf_of(sp.breadcrumb));
-  const Span* parent = find_parent(rt, sp);
+  // Parent linkage is resolved once in TraceSummary::build (Span::parent);
+  // the export no longer re-scans the span list per span.
+  const Span* parent =
+      sp.parent >= 0 ? &rt.spans[static_cast<std::size_t>(sp.parent)]
+                     : nullptr;
 
   char buf[512];
   // Zipkin v2 timestamps/durations are in microseconds.
@@ -69,8 +57,14 @@ void append_span_json(std::string& out, const RequestTrace& rt,
 
 }  // namespace
 
+// Every span serializes from a 512-byte stack buffer, so pre-sizing the
+// output to ~512 bytes/span makes the append loop allocation-free.
+constexpr std::size_t kSpanJsonReserve = 512;
+
 std::string to_zipkin_json(const RequestTrace& rt) {
-  std::string out = "[\n";
+  std::string out;
+  out.reserve(8 + rt.spans.size() * kSpanJsonReserve);
+  out += "[\n";
   bool first = true;
   for (const auto& sp : rt.spans) append_span_json(out, rt, sp, first);
   out += "\n]\n";
@@ -78,7 +72,9 @@ std::string to_zipkin_json(const RequestTrace& rt) {
 }
 
 std::string to_zipkin_json(const TraceSummary& summary) {
-  std::string out = "[\n";
+  std::string out;
+  out.reserve(8 + summary.total_spans * kSpanJsonReserve);
+  out += "[\n";
   bool first = true;
   for (const auto& rt : summary.requests) {
     for (const auto& sp : rt.spans) append_span_json(out, rt, sp, first);

@@ -58,6 +58,7 @@ void MobjectWorld::run() {
           written.push_back(std::move(name));
         }
       }
+      if (eng_.now() > makespan_) makespan_ = eng_.now();
       mid.finalize();
       if (--*remaining == 0) server_->finalize();
     });

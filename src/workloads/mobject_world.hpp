@@ -52,6 +52,10 @@ class MobjectWorld {
   }
   [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
 
+  /// Virtual time at which the last client finished its op loop (excludes
+  /// finalize/sampler shutdown tails, which run on a fixed horizon).
+  [[nodiscard]] sim::TimeNs makespan() const noexcept { return makespan_; }
+
   [[nodiscard]] std::vector<const prof::ProfileStore*> all_profiles() const;
   [[nodiscard]] std::vector<const prof::TraceStore*> all_traces() const;
 
@@ -64,6 +68,7 @@ class MobjectWorld {
   std::unique_ptr<mobject::Server> mobject_;
   std::vector<std::unique_ptr<margo::Instance>> clients_;
   std::vector<std::unique_ptr<mobject::Client>> mclients_;
+  sim::TimeNs makespan_ = 0;
   bool ran_ = false;
 };
 

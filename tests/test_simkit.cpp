@@ -74,10 +74,61 @@ TEST(Engine, CancelAfterFireIsNoop) {
   auto id = eng.at(10, [&] { ran = true; });
   eng.run();
   EXPECT_TRUE(ran);
-  // The id is "known" but no longer pending; cancel returns true only the
-  // first time (lazy tombstone) and must never corrupt the queue.
-  eng.cancel(id);
+  // The event fired, so its slot generation moved on: the stale id fails
+  // the generation check and must never corrupt the queue.
+  EXPECT_FALSE(eng.cancel(id));
   eng.run();
+}
+
+TEST(Engine, RunUntilSkipsCancelledHead) {
+  // Regression: run_until() used to duplicate the cancelled-entry skip of
+  // pop_and_run(); a cancelled event at the head of the heap, inside the
+  // deadline, must be dropped without executing and without losing the
+  // events behind it.
+  sim::Engine eng;
+  bool cancelled_ran = false;
+  bool late_ran = false;
+  auto id = eng.at(10, [&] { cancelled_ran = true; });
+  eng.at(50, [&] { late_ran = true; });
+  EXPECT_TRUE(eng.cancel(id));
+  eng.run_until(30);
+  EXPECT_FALSE(cancelled_ran);
+  EXPECT_FALSE(late_ran);
+  EXPECT_EQ(eng.pending_events(), 1u);
+  eng.run();
+  EXPECT_TRUE(late_ran);
+}
+
+TEST(Engine, StaleIdFailsGenerationCheckAfterSlotReuse) {
+  sim::Engine eng;
+  auto a = eng.at(10, [] {});
+  EXPECT_TRUE(eng.cancel(a));
+  // The freed slot is recycled for the next event with a fresh generation;
+  // the stale id must not cancel the newcomer.
+  bool b_ran = false;
+  auto b = eng.at(20, [&] { b_ran = true; });
+  EXPECT_FALSE(eng.cancel(a));
+  eng.run();
+  EXPECT_TRUE(b_ran);
+  EXPECT_FALSE(eng.cancel(b));
+}
+
+TEST(Engine, ManyInterleavedCancelsKeepOrderAndCounts) {
+  sim::Engine eng;
+  std::vector<int> fired;
+  std::vector<sim::Engine::EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(eng.at(static_cast<sim::TimeNs>(10 * (i + 1)),
+                         [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 64; i += 2) EXPECT_TRUE(eng.cancel(ids[i]));
+  EXPECT_EQ(eng.pending_events(), 32u);
+  eng.run();
+  ASSERT_EQ(fired.size(), 32u);
+  for (std::size_t j = 0; j < fired.size(); ++j) {
+    EXPECT_EQ(fired[j], static_cast<int>(2 * j + 1));
+  }
+  EXPECT_EQ(eng.pending_events(), 0u);
 }
 
 TEST(Engine, StopHaltsTheLoop) {
