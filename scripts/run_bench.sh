@@ -31,6 +31,12 @@ echo "== overhead_study =="
 # Exits non-zero if the FULL stage exceeds the 1.5x acceptance bound.
 "$build/bench/overhead_study" $smoke_flag --out "$out/BENCH_overhead.json"
 
+echo "== scaling_study =="
+# Weak-scaling sweep of the sharded engine (lanes x workers). Fails on a
+# determinism violation; the parallel-efficiency target is evaluated only
+# when the host has >= 4 cpus (recorded as host_cpus in the JSON).
+"$build/bench/scaling_study" $smoke_flag --out "$out/BENCH_scaling.json"
+
 echo "== micro_benchmarks =="
 "$build/bench/micro_benchmarks" \
   --benchmark_out="$out/BENCH_micro.json" \

@@ -41,11 +41,16 @@ void Xstream::try_dispatch() {
   if (!have_work) return;
   dispatch_scheduled_ = true;
   // The dispatch overhead both models scheduler cost and guarantees virtual
-  // time cannot stand still across an unbounded chain of dispatches.
-  runtime_.engine().after(kDispatchOverheadNs, [this] {
-    dispatch_scheduled_ = false;
-    dispatch_one();
-  });
+  // time cannot stand still across an unbounded chain of dispatches. The
+  // event is pinned to the lane owning this runtime's node so that ULTs
+  // always execute on their home lane — in particular when the dispatch is
+  // triggered from setup code running outside any lane.
+  auto& engine = runtime_.engine();
+  engine.after_on(engine.lane_for_node(runtime_.process().node()),
+                  kDispatchOverheadNs, [this] {
+                    dispatch_scheduled_ = false;
+                    dispatch_one();
+                  });
 }
 
 Ult* Xstream::pop_ready() {

@@ -152,6 +152,12 @@ void Class::register_pvars() {
              [this](const Handle*) {
                return static_cast<double>(callback_queue_hwm_);
              });
+  pvars_.add({"wire_buffer_pool_hits",
+              "Wire-buffer sends served from the recycle pool",
+              PvarClass::kCounter, PvarBind::kNoObject},
+             [this](const Handle*) {
+               return static_cast<double>(buffer_pool_hits_);
+             });
   pvars_.add({"min_ofi_events_read",
               "Lowest non-trivial OFI event batch read by progress",
               PvarClass::kLowWatermark, PvarBind::kNoObject},
@@ -165,7 +171,16 @@ void Class::register_pvars() {
 RpcId Class::register_rpc(const std::string& name, ArrivalCallback on_arrival) {
   const RpcId id = sim::fnv1a64(name.data(), name.size());
   rpc_names_[id] = name;
-  if (on_arrival) rpc_handlers_[id] = std::move(on_arrival);
+  if (on_arrival) {
+    if (auto it = rpc_handlers_.find(id); it != rpc_handlers_.end()) {
+      // Re-registration overwrites the slot in place: pointers handed out
+      // by handle_request_arrival() stay valid and see the new handler.
+      arrival_slots_[it->second] = std::move(on_arrival);
+    } else {
+      arrival_slots_.push_back(std::move(on_arrival));
+      rpc_handlers_[id] = arrival_slots_.size() - 1;
+    }
+  }
   return id;
 }
 
@@ -229,7 +244,7 @@ void Class::forward(const HandlePtr& h, std::vector<std::byte> input,
     wire_bytes = header_size + config_.eager_limit;
   }
 
-  BufWriter w;
+  BufWriter w(acquire_buffer());
   put(w, h->header);
   w.write_raw(h->body.data(), h->body.size());
   endpoint_.post_send(h->peer_, kTagRequest, w.take(), /*context=*/0,
@@ -251,7 +266,7 @@ void Class::respond(const HandlePtr& h, std::vector<std::byte> output,
   // Only the library-status bits echo back to the origin.
   resp.flags = h->header.flags & (kFlagError | kFlagBusy);
   resp.body_size = h->response_body.size();
-  BufWriter w;
+  BufWriter w(acquire_buffer());
   put(w, resp);
   w.write_raw(h->response_body.data(), h->response_body.size());
 
@@ -298,6 +313,25 @@ void Class::charge_input_deserialize(const HandlePtr& h) {
   charge_compute(cost);
 }
 
+std::vector<std::byte> Class::acquire_buffer() {
+  if (!buffer_pool_.empty()) {
+    std::vector<std::byte> buf = std::move(buffer_pool_.back());
+    buffer_pool_.pop_back();
+    ++buffer_pool_hits_;
+    return buf;
+  }
+  ++buffer_pool_misses_;
+  return {};
+}
+
+void Class::recycle_buffer(std::vector<std::byte>&& buf) {
+  if (config_.buffer_pool_limit == 0 || buf.capacity() == 0 ||
+      buffer_pool_.size() >= config_.buffer_pool_limit) {
+    return;  // pooling disabled, nothing worth keeping, or pool full
+  }
+  buffer_pool_.push_back(std::move(buf));
+}
+
 void Class::enqueue_callback(std::function<void()> fn) {
   callback_queue_.push_back(QueuedCallback{std::move(fn)});
   if (callback_queue_.size() > callback_queue_hwm_) {
@@ -316,11 +350,17 @@ void Class::handle_request_arrival(ofi::CqEntry&& entry) {
                      static_cast<std::ptrdiff_t>(r.position()),
                  entry.data.end());
   h->attachment = std::move(entry.attachment);
+  // The header and body were copied out above; the wire buffer's storage
+  // goes back to the pool for the next send.
+  recycle_buffer(std::move(entry.data));
   ++num_rpcs_handled_;
 
   auto it = rpc_handlers_.find(h->header.rpc_id);
   if (it == rpc_handlers_.end()) return;  // unknown RPC: drop
-  ArrivalCallback arrival = it->second;   // copy: outlives map mutations
+  // Borrow the handler through its stable slot: deque storage never moves
+  // on growth and re-registration overwrites in place, so the pointer stays
+  // valid across map mutations — no per-request copy of the std::function.
+  const ArrivalCallback* arrival = &arrival_slots_[it->second];
 
   if ((h->header.flags & kFlagEagerOverflow) != 0) {
     // t3 -> t4: fetch the overflowing request metadata via internal RDMA,
@@ -331,15 +371,14 @@ void Class::handle_request_arrival(ofi::CqEntry&& entry) {
             : 0;
     const std::uint64_t ctx = next_ctx_++;
     const sim::TimeNs started = engine().now();
-    pending_ctx_[ctx] = [this, h, arrival = std::move(arrival),
-                         started](const ofi::CqEntry&) {
+    pending_ctx_[ctx] = [this, h, arrival, started](const ofi::CqEntry&) {
       h->set_timer(kHtInternalRdma,
                    static_cast<double>(engine().now() - started));
-      arrival(h);
+      (*arrival)(h);
     };
     endpoint_.post_rdma(h->peer_, remaining, ctx);
   } else {
-    arrival(h);
+    (*arrival)(h);
   }
 }
 
@@ -354,6 +393,7 @@ void Class::handle_response_arrival(ofi::CqEntry&& entry) {
   h->response_body.assign(entry.data.begin() +
                               static_cast<std::ptrdiff_t>(r.position()),
                           entry.data.end());
+  recycle_buffer(std::move(entry.data));
   h->response_queued_at_ = engine().now();  // t12
   // Carry the responder's Lamport clock back to the origin so the tracing
   // layer can apply the receive-side max+1 update, and surface the

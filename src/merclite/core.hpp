@@ -70,6 +70,12 @@ struct ClassConfig {
   sim::DurationNs progress_per_event_cost = sim::nsec(800);
   /// CPU cost of dispatching one completion callback in trigger().
   sim::DurationNs trigger_dispatch_cost = sim::nsec(600);
+
+  /// Eager-path buffer pool: payload buffers taken off the wire are
+  /// recycled through a per-instance free list (up to this many) instead of
+  /// being freed and re-allocated for every RPC. 0 disables recycling.
+  /// Host-side optimization only — wire sizes and timing are unchanged.
+  std::size_t buffer_pool_limit = 64;
 };
 
 /// Wire header carried by every RPC request, including the SYMBIOSYS
@@ -269,6 +275,14 @@ class Class {
   [[nodiscard]] std::uint64_t cancellations() const noexcept {
     return cancellations_;
   }
+  /// Wire-buffer pool hits (a send or receive reused a recycled buffer).
+  [[nodiscard]] std::uint64_t buffer_pool_hits() const noexcept {
+    return buffer_pool_hits_;
+  }
+  /// Wire-buffer requests served by a fresh allocation.
+  [[nodiscard]] std::uint64_t buffer_pool_misses() const noexcept {
+    return buffer_pool_misses_;
+  }
 
  private:
   struct QueuedCallback {
@@ -277,6 +291,11 @@ class Class {
 
   void handle_request_arrival(ofi::CqEntry&& entry);
   void handle_response_arrival(ofi::CqEntry&& entry);
+  /// Take a (cleared) wire buffer from the pool, or a fresh one.
+  [[nodiscard]] std::vector<std::byte> acquire_buffer();
+  /// Return a wire buffer's storage to the pool once its bytes were copied
+  /// out (receive path) — capacity is retained for the next send.
+  void recycle_buffer(std::vector<std::byte>&& buf);
   void enqueue_callback(std::function<void()> fn);
   void charge_compute(sim::DurationNs d);
   [[nodiscard]] sim::DurationNs ser_cost(std::size_t bytes) const noexcept;
@@ -288,7 +307,11 @@ class Class {
   ClassConfig config_;
   ofi::Endpoint& endpoint_;
 
-  std::unordered_map<RpcId, ArrivalCallback> rpc_handlers_;
+  // Arrival callbacks live in stable slots (deque: no reallocation on
+  // growth) so dispatch borrows a pointer instead of copying the
+  // std::function per request; the map only indexes into the slots.
+  std::deque<ArrivalCallback> arrival_slots_;
+  std::unordered_map<RpcId, std::size_t> rpc_handlers_;  // id -> slot index
   std::unordered_map<RpcId, std::string> rpc_names_;
 
   std::uint64_t next_op_seq_ = 1;
@@ -312,6 +335,11 @@ class Class {
   std::uint64_t eager_overflows_ = 0;
   std::uint64_t cancellations_ = 0;
   std::size_t callback_queue_hwm_ = 0;
+
+  // Eager-path wire-buffer free list (see ClassConfig::buffer_pool_limit).
+  std::vector<std::vector<std::byte>> buffer_pool_;
+  std::uint64_t buffer_pool_hits_ = 0;
+  std::uint64_t buffer_pool_misses_ = 0;
 };
 
 }  // namespace sym::hg

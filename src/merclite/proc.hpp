@@ -23,6 +23,14 @@ namespace sym::hg {
 /// Growable output buffer.
 class BufWriter {
  public:
+  BufWriter() = default;
+  /// Adopt `storage` as the backing buffer (cleared, capacity kept). Used
+  /// by the RPC layer's buffer pool to recycle payload allocations.
+  explicit BufWriter(std::vector<std::byte> storage) noexcept
+      : buf_(std::move(storage)) {
+    buf_.clear();
+  }
+
   [[nodiscard]] const std::vector<std::byte>& buffer() const noexcept {
     return buf_;
   }

@@ -29,6 +29,15 @@ double Process::cpu_utilization(TimeNs since, TimeNs now,
 
 Cluster::Cluster(Engine& engine, ClusterParams params)
     : engine_(engine), params_(params) {
+  // Resolve the engine's lane topology before anything is scheduled or any
+  // random draw is made: auto-sharding maps one lane per node, and the
+  // conservative lookahead is the minimum delay of any cross-node (hence
+  // cross-lane) event insertion — one inter-node link latency; serialization
+  // and per-message overhead only add to it.
+  engine_.shard_for_nodes(params_.node_count);
+  if (engine_.parallel() && engine_.lookahead() == 0) {
+    engine_.set_lookahead(params_.inter_node_latency);
+  }
   nodes_.reserve(params_.node_count);
   for (NodeId id = 0; id < params_.node_count; ++id) {
     std::int64_t skew = 0;

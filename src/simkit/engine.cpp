@@ -4,144 +4,246 @@
 #include <cassert>
 #include <utility>
 
+#include "simkit/window.hpp"
+
 namespace sym::sim {
 
+namespace {
+
+/// Expand the engine seed into one seed per lane. Lane 0 receives the seed
+/// verbatim so a single-lane engine draws exactly the historical stream;
+/// higher lanes get splitmix64-derived independent streams.
+std::uint64_t lane_seed(std::uint64_t seed, std::uint32_t lane) {
+  if (lane == 0) return seed;
+  std::uint64_t state = seed + 0x9E3779B97F4A7C15ULL * lane;
+  return splitmix64(state);
+}
+
+struct ActiveLaneTls {
+  Engine* engine = nullptr;
+  Lane* lane = nullptr;
+};
+
+thread_local ActiveLaneTls t_active;
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
-// Slot table
+// ActiveLaneScope
 // ---------------------------------------------------------------------------
 
-std::uint32_t Engine::acquire_slot() {
-  std::uint32_t idx;
-  if (free_head_ != kNoFreeSlot) {
-    idx = free_head_;
-    free_head_ = slots_[idx].next_free;
-  } else {
-    idx = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
+ActiveLaneScope::ActiveLaneScope(Engine& engine, Lane& lane) noexcept
+    : prev_engine_(t_active.engine), prev_lane_(t_active.lane) {
+  t_active.engine = &engine;
+  t_active.lane = &lane;
+}
+
+ActiveLaneScope::~ActiveLaneScope() {
+  t_active.engine = prev_engine_;
+  t_active.lane = prev_lane_;
+}
+
+// ---------------------------------------------------------------------------
+// Construction / lane topology
+// ---------------------------------------------------------------------------
+
+Engine::Engine(std::uint64_t seed, EngineConfig config)
+    : seed_(seed), config_(config), lookahead_(config.lookahead) {
+  auto_shard_ = (config_.lane_count == 0);
+  const std::uint32_t n =
+      auto_shard_ ? 1 : std::min(config_.lane_count, kMaxLanes);
+  build_lanes(n);
+}
+
+void Engine::build_lanes(std::uint32_t count) {
+  assert(count >= 1);
+  lanes_.clear();
+  lanes_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    lanes_.push_back(std::make_unique<Lane>(i, lane_seed(seed_, i), count));
   }
-  Slot& s = slots_[idx];
-  s.in_use = true;
-  s.cancelled = false;
-  return idx;
+  const std::uint32_t w = config_.worker_count == 0 ? 1 : config_.worker_count;
+  workers_ = std::min(w, count);
 }
 
-void Engine::release_slot(std::uint32_t idx) noexcept {
-  Slot& s = slots_[idx];
-  s.cb = nullptr;
-  s.in_use = false;
-  s.cancelled = false;
-  ++s.generation;  // invalidate every outstanding id for this slot
-  s.next_free = free_head_;
-  free_head_ = idx;
+void Engine::shard_for_nodes(std::uint32_t node_count) {
+  if (!auto_shard_ || node_count == 0) return;
+  auto_shard_ = false;
+  const std::uint32_t n = std::min(node_count, kMaxLanes);
+  if (n == lane_count()) return;
+  assert(pending_events() == 0 && events_processed() == 0 &&
+         "lane topology must be fixed before any event is scheduled");
+  build_lanes(n);
 }
 
-// ---------------------------------------------------------------------------
-// 4-ary heap
-// ---------------------------------------------------------------------------
-
-void Engine::heap_push(HeapEntry e) {
-  std::size_t i = heap_.size();
-  heap_.push_back(e);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!before(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
-}
-
-Engine::HeapEntry Engine::heap_pop() {
-  assert(!heap_.empty());
-  const HeapEntry top = heap_[0];
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  std::size_t i = 0;
-  while (true) {
-    const std::size_t first_child = 4 * i + 1;
-    if (first_child >= n) break;
-    std::size_t best = first_child;
-    const std::size_t last_child = std::min(first_child + 4, n);
-    for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
-    }
-    if (!before(heap_[best], heap_[i])) break;
-    std::swap(heap_[i], heap_[best]);
-    i = best;
-  }
-  return top;
-}
-
-void Engine::drop_cancelled_top() {
-  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
-    release_slot(heap_pop().slot);
-  }
+void Engine::set_lookahead(DurationNs d) noexcept {
+  lookahead_ = d > 0 ? d : 1;
 }
 
 // ---------------------------------------------------------------------------
-// Public API
+// Context-sensitive accessors
+// ---------------------------------------------------------------------------
+
+Lane* Engine::active_lane_here() const noexcept {
+  return t_active.engine == this ? t_active.lane : nullptr;
+}
+
+Lane& Engine::scheduling_lane() noexcept {
+  if (Lane* a = active_lane_here()) return *a;
+  return *lanes_[0];
+}
+
+TimeNs Engine::now() const noexcept {
+  if (const Lane* a = active_lane_here()) return a->now();
+  if (lanes_.size() == 1) return lanes_[0]->now();
+  return main_now_;
+}
+
+Rng& Engine::rng() noexcept { return scheduling_lane().rng(); }
+
+// ---------------------------------------------------------------------------
+// Scheduling
 // ---------------------------------------------------------------------------
 
 Engine::EventId Engine::at(TimeNs t, Callback cb) {
-  assert(cb && "scheduling an empty callback");
-  if (t < now_) t = now_;  // no scheduling into the past
-  const std::uint32_t idx = acquire_slot();
-  slots_[idx].cb = std::move(cb);
-  heap_push(HeapEntry{t, next_seq_++, idx});
-  ++pending_;
-  return (static_cast<EventId>(slots_[idx].generation) << 32) | idx;
+  Lane& l = scheduling_lane();
+  return make_id(l.index(), l.schedule(t, std::move(cb)));
+}
+
+Engine::EventId Engine::at_on(std::uint32_t lane, TimeNs t, Callback cb) {
+  assert(lane < lanes_.size());
+  Lane* a = active_lane_here();
+  if (a != nullptr && a->index() != lane) {
+    // Cross-lane insertion from inside a running lane: deterministic
+    // mailbox, delivered at the next window barrier. The lookahead
+    // guarantees t lands at or beyond the end of the current window.
+    a->post_remote(lane, t, std::move(cb));
+    return 0;
+  }
+  return make_id(lane, lanes_[lane]->schedule(t, std::move(cb)));
 }
 
 bool Engine::cancel(EventId id) {
-  const auto idx = static_cast<std::uint32_t>(id & 0xFFFFFFFFu);
-  const auto gen = static_cast<std::uint32_t>(id >> 32);
-  if (idx >= slots_.size()) return false;
-  Slot& s = slots_[idx];
-  // A fired or re-used slot fails the generation check: cancelling a stale
-  // id is a no-op, with no tombstone left behind. The heap entry stays in
-  // place and is dropped with a flag test when it surfaces.
-  if (!s.in_use || s.generation != gen || s.cancelled) return false;
-  s.cancelled = true;
-  s.cb = nullptr;  // free captured state eagerly
-  --pending_;
-  return true;
+  if (id == 0) return false;
+  const auto lane = static_cast<std::uint32_t>(id >> 56);
+  const auto gen = static_cast<std::uint32_t>((id >> 28) & 0x0FFFFFFFu);
+  const auto slot = static_cast<std::uint32_t>(id & 0x0FFFFFFFu);
+  if (lane >= lanes_.size()) return false;
+#ifndef NDEBUG
+  const Lane* a = active_lane_here();
+  assert((a == nullptr || a->index() == lane) &&
+         "cancel() must target the calling context's own lane");
+#endif
+  return lanes_[lane]->cancel(slot, gen);
 }
 
-bool Engine::pop_and_run() {
-  while (!heap_.empty()) {
-    const HeapEntry top = heap_pop();
-    Slot& s = slots_[top.slot];
-    if (s.cancelled) {
-      release_slot(top.slot);
-      continue;
-    }
-    now_ = top.t;
-    ++processed_;
-    --pending_;
-    Callback cb = std::move(s.cb);
-    // Release before running: a callback cancelling its own (now stale) id
-    // or scheduling new events must see a consistent slot table.
-    release_slot(top.slot);
-    cb();
-    return true;
+// ---------------------------------------------------------------------------
+// Execution — classic (single lane)
+// ---------------------------------------------------------------------------
+
+void Engine::run_classic() {
+  Lane& l = *lanes_[0];
+  ActiveLaneScope scope(*this, l);
+  while (!stopped() && l.pop_and_run()) {
   }
-  return false;
 }
 
-bool Engine::step() { return pop_and_run(); }
+void Engine::run_until_classic(TimeNs deadline) {
+  Lane& l = *lanes_[0];
+  ActiveLaneScope scope(*this, l);
+  while (!stopped()) {
+    // Surface the true next live event before testing the deadline.
+    TimeNs t;
+    if (!l.peek_next(t) || t > deadline) break;
+    l.pop_and_run();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution — sharded (safe windows)
+// ---------------------------------------------------------------------------
+
+void Engine::run_windows(bool bounded, TimeNs deadline) {
+  assert(lookahead_ > 0 &&
+         "sharded engine requires a lookahead (set by the Cluster)");
+  WindowCoordinator coord(*this, workers_);
+  while (!stopped()) {
+    // Next window starts at the earliest event across all lanes.
+    bool any = false;
+    TimeNs start = 0;
+    for (auto& l : lanes_) {
+      TimeNs t;
+      if (l->peek_next(t) && (!any || t < start)) {
+        any = true;
+        start = t;
+      }
+    }
+    if (!any) break;
+    if (bounded && start > deadline) break;
+    main_now_ = start;
+    TimeNs end = start + lookahead_;
+    if (bounded && end > deadline) end = deadline + 1;
+    coord.execute_window(end);
+  }
+  TimeNs final = main_now_;
+  for (auto& l : lanes_) final = std::max(final, l->now());
+  main_now_ = final;
+}
 
 void Engine::run() {
-  while (!stopped_ && pop_and_run()) {
+  if (!parallel()) {
+    run_classic();
+    return;
   }
+  run_windows(/*bounded=*/false, 0);
 }
 
 void Engine::run_until(TimeNs deadline) {
-  while (!stopped_) {
-    // Surface the true next live event before testing the deadline.
-    drop_cancelled_top();
-    if (heap_.empty() || heap_[0].t > deadline) break;
-    pop_and_run();
+  if (!parallel()) {
+    run_until_classic(deadline);
+    return;
   }
+  run_windows(/*bounded=*/true, deadline);
+}
+
+bool Engine::step() {
+  Lane* best = nullptr;
+  TimeNs bt = 0;
+  for (auto& l : lanes_) {
+    TimeNs t;
+    if (l->peek_next(t) && (best == nullptr || t < bt)) {
+      best = l.get();
+      bt = t;
+    }
+  }
+  if (best == nullptr) return false;
+  {
+    ActiveLaneScope scope(*this, *best);
+    best->pop_and_run();
+  }
+  if (parallel()) {
+    // Deliver any cross-lane insertions immediately: step() is sequential,
+    // so the mailbox discipline is not needed for determinism.
+    for (auto& dst : lanes_) dst->absorb_outbox_from(*best);
+    main_now_ = std::max(main_now_, best->now());
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+std::size_t Engine::pending_events() const noexcept {
+  std::size_t n = 0;
+  for (const auto& l : lanes_) n += l->pending();
+  return n;
+}
+
+std::uint64_t Engine::events_processed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : lanes_) n += l->processed();
+  return n;
 }
 
 }  // namespace sym::sim

@@ -1,21 +1,36 @@
 // simkit/engine.hpp
 //
 // The discrete-event simulation engine at the heart of the simulated
-// cluster. The engine owns a single global virtual clock and an event queue.
-// Everything above it (execution streams, the fabric, databases) expresses
-// the passage of time by scheduling callbacks.
+// cluster. Everything above it (execution streams, the fabric, databases)
+// expresses the passage of time by scheduling callbacks.
 //
-// The engine is strictly single-threaded: events with equal timestamps are
-// executed in insertion order (FIFO tie-break via a sequence number), which
-// together with the seeded Rng makes entire experiments bit-reproducible.
+// The engine is a facade over one or more event *lanes* (lane.hpp). In the
+// default configuration there is a single lane and the engine behaves
+// exactly like the historical strictly single-threaded implementation:
+// events with equal timestamps execute in insertion order (FIFO tie-break
+// via a sequence number), which together with the seeded Rng makes entire
+// experiments bit-reproducible.
 //
-// Every timer in the stack funnels through this queue, so its operations
-// are engineered for constant factors:
+// With `EngineConfig::lane_count > 1` (or 0 = one lane per simulated node,
+// resolved by the Cluster) the event queue is sharded: each lane owns the
+// events of the nodes mapped to it (node % lane_count) plus its own clock,
+// heap and Rng stream. Lanes advance in lockstep *safe windows* of width
+// `lookahead` — the minimum cross-node messaging delay, derived from the
+// fabric's link latency — so events inside one window on different lanes
+// cannot causally interact and may execute concurrently on a pool of
+// worker threads (window.hpp). Cross-lane insertions travel through
+// per-lane-pair mailboxes merged at each window barrier in (src-lane, seq)
+// order, and every lane draws from an independently seeded Rng, so results
+// are bit-identical for any worker_count (see docs/ARCHITECTURE.md for the
+// full determinism argument).
+//
+// Every timer in the stack funnels through these queues, so the per-lane
+// operations keep the historical constant factors:
 //
 //  * Events live in a slot table with generation-tagged ids
-//    (id = generation << 32 | slot). cancel() is a direct O(1) slot access
-//    — no hash-set insert, and a stale id from a fired event simply fails
-//    the generation check instead of poisoning a tombstone set.
+//    (id = lane << 56 | generation << 28 | slot). cancel() is a direct O(1)
+//    slot access — no hash-set insert, and a stale id from a fired event
+//    simply fails the generation check instead of poisoning a tombstone set.
 //  * The priority queue is an explicit 4-ary heap: shallower than a binary
 //    heap (log_4 n levels) and with all four children of a node on one
 //    cache line's worth of entries, which measurably speeds up the
@@ -23,43 +38,82 @@
 //    they surface, not a set lookup per pop.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
+#include "simkit/lane.hpp"
 #include "simkit/rng.hpp"
 #include "simkit/time.hpp"
 
 namespace sym::sim {
 
+/// Parallel-execution knobs. The default (one lane, one worker) is the
+/// historical single-threaded engine, bit-for-bit.
+struct EngineConfig {
+  /// Number of event lanes the queue is sharded into. 1 = classic
+  /// single-threaded engine. 0 = auto: one lane per simulated node,
+  /// resolved when the Cluster is constructed. The lane count determines
+  /// the schedule (and the per-lane Rng streams), so runs with different
+  /// lane counts are different experiments; runs with the same lane count
+  /// and different worker counts are bit-identical.
+  std::uint32_t lane_count = 1;
+  /// Worker threads executing lanes during a safe window. Clamped to the
+  /// lane count. 1 = run lanes sequentially on the calling thread.
+  std::uint32_t worker_count = 1;
+  /// Safe-window width. 0 = derive from the cluster's minimum cross-node
+  /// link latency (set_lookahead() is called by the Cluster constructor).
+  DurationNs lookahead = 0;
+};
+
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = Lane::Callback;
 
-  /// Opaque handle for cancelling a scheduled event. Encodes a slot index
-  /// and a generation tag; 0 is never a valid id.
+  /// Opaque handle for cancelling a scheduled event. Encodes a lane, a slot
+  /// index and a generation tag; 0 is never a valid id. Events posted to a
+  /// *different* lane from inside a running lane travel through a mailbox
+  /// and are not cancellable (at_on returns 0 for them).
   using EventId = std::uint64_t;
 
-  explicit Engine(std::uint64_t seed = 0x5EEDC0DEULL) : rng_(seed) {}
+  explicit Engine(std::uint64_t seed = 0x5EEDC0DEULL, EngineConfig config = {});
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Current virtual time.
-  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+  /// Current virtual time: the executing lane's clock from inside a lane,
+  /// the window start (or final time) from the coordinating thread.
+  [[nodiscard]] TimeNs now() const noexcept;
 
-  /// Deterministic RNG shared by all simulation components.
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  /// Deterministic RNG. From inside a running lane this is that lane's
+  /// stream; from setup/main context it is lane 0's stream (which is seeded
+  /// with the engine seed verbatim, so single-lane behavior is unchanged).
+  [[nodiscard]] Rng& rng() noexcept;
 
-  /// Schedule `cb` at absolute virtual time `t` (clamped to now()).
+  /// Schedule `cb` at absolute virtual time `t` (clamped to now()) on the
+  /// current lane (the executing lane, or lane 0 from main context).
   EventId at(TimeNs t, Callback cb);
 
-  /// Schedule `cb` after `d` nanoseconds of virtual time.
-  EventId after(DurationNs d, Callback cb) { return at(now_ + d, std::move(cb)); }
+  /// Schedule `cb` after `d` nanoseconds of virtual time on the current lane.
+  EventId after(DurationNs d, Callback cb) {
+    return at(now() + d, std::move(cb));
+  }
+
+  /// Schedule onto a specific lane. From main context, or when `lane` is the
+  /// executing lane, this is a direct (cancellable) insertion. From a
+  /// different running lane the event is routed through the deterministic
+  /// window mailbox and 0 is returned (not cancellable); `t` must then be at
+  /// least one lookahead ahead of the current window start.
+  EventId at_on(std::uint32_t lane, TimeNs t, Callback cb);
+  EventId after_on(std::uint32_t lane, DurationNs d, Callback cb) {
+    return at_on(lane, now() + d, std::move(cb));
+  }
 
   /// Cancel a previously scheduled event. Safe to call after the event has
   /// fired (the generation check makes it a no-op). Returns true if the
-  /// event was still pending.
+  /// event was still pending. Must target the calling context's own lane.
   bool cancel(EventId id);
 
   /// Run until the event queue drains or stop() is called.
@@ -69,70 +123,95 @@ class Engine {
   /// `deadline` still execute), the queue drains, or stop() is called.
   void run_until(TimeNs deadline);
 
-  /// Execute a single event. Returns false if the queue was empty.
+  /// Execute a single event (the globally earliest; ties broken by lane
+  /// index). Returns false if all lanes are empty. Sequential — intended
+  /// for tests and debugging.
   bool step();
 
-  /// Request that run()/run_until() return after the current event.
-  void stop() noexcept { stopped_ = true; }
+  /// Request that run()/run_until() return. Takes effect after the current
+  /// event (single lane) or at the next window barrier (sharded), so the
+  /// stopping point is deterministic for any worker count.
+  void stop() noexcept { stopped_.store(true, std::memory_order_relaxed); }
 
-  [[nodiscard]] bool stopped() const noexcept { return stopped_; }
+  [[nodiscard]] bool stopped() const noexcept {
+    return stopped_.load(std::memory_order_relaxed);
+  }
 
   /// Clear the stop flag so the engine can be driven again.
-  void reset_stop() noexcept { stopped_ = false; }
-
-  [[nodiscard]] std::size_t pending_events() const noexcept {
-    return pending_;
+  void reset_stop() noexcept {
+    stopped_.store(false, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] std::uint64_t events_processed() const noexcept {
-    return processed_;
+  [[nodiscard]] std::size_t pending_events() const noexcept;
+  [[nodiscard]] std::uint64_t events_processed() const noexcept;
+
+  // --- lane topology -------------------------------------------------------
+
+  [[nodiscard]] std::uint32_t lane_count() const noexcept {
+    return static_cast<std::uint32_t>(lanes_.size());
   }
+  /// True when the event queue is sharded across more than one lane.
+  [[nodiscard]] bool parallel() const noexcept { return lanes_.size() > 1; }
+  [[nodiscard]] std::uint32_t lane_for_node(std::uint32_t node) const noexcept {
+    return node % static_cast<std::uint32_t>(lanes_.size());
+  }
+  [[nodiscard]] std::uint32_t worker_count() const noexcept {
+    return workers_;
+  }
+
+  /// Resolve `lane_count == 0` (auto) to one lane per node. Called by the
+  /// Cluster constructor; a no-op when the lane count was set explicitly.
+  /// Must run before any event is scheduled or any Rng draw is made.
+  void shard_for_nodes(std::uint32_t node_count);
+
+  /// Conservative safe-window width. Only meaningful when parallel(); must
+  /// be a lower bound on the delay of any cross-lane event insertion. The
+  /// Cluster sets it to the minimum cross-node link latency unless the
+  /// config pinned a value.
+  void set_lookahead(DurationNs d) noexcept;
+  [[nodiscard]] DurationNs lookahead() const noexcept { return lookahead_; }
 
  private:
-  /// Heap entries are 24 bytes (no callback): the callback lives in the
-  /// slot table, so sift operations move small PODs only.
-  struct HeapEntry {
-    TimeNs t;
-    std::uint64_t seq;  ///< monotonically increasing FIFO tie-break
-    std::uint32_t slot;
-  };
+  friend class ActiveLaneScope;
+  friend class WindowCoordinator;
 
-  struct Slot {
-    Callback cb;
-    std::uint32_t generation = 1;
-    std::uint32_t next_free = 0;
-    bool in_use = false;
-    bool cancelled = false;
-  };
+  static constexpr std::uint32_t kMaxLanes = 256;  // 8 id bits
 
-  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
-
-  bool pop_and_run();
-
-  [[nodiscard]] static bool before(const HeapEntry& a,
-                                   const HeapEntry& b) noexcept {
-    if (a.t != b.t) return a.t < b.t;
-    return a.seq < b.seq;
+  [[nodiscard]] Lane* active_lane_here() const noexcept;
+  [[nodiscard]] Lane& scheduling_lane() noexcept;
+  [[nodiscard]] static EventId make_id(std::uint32_t lane,
+                                       std::uint64_t packed) noexcept {
+    return (static_cast<EventId>(lane) << 56) | packed;
   }
 
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t idx) noexcept;
+  void build_lanes(std::uint32_t count);
+  void run_classic();
+  void run_until_classic(TimeNs deadline);
+  void run_windows(bool bounded, TimeNs deadline);
 
-  void heap_push(HeapEntry e);
-  /// Remove and return the top entry (caller checks non-empty).
-  HeapEntry heap_pop();
-  /// Drop cancelled entries off the top, releasing their slots.
-  void drop_cancelled_top();
+  std::uint64_t seed_;
+  EngineConfig config_;
+  std::uint32_t workers_ = 1;
+  DurationNs lookahead_ = 0;
+  bool auto_shard_ = false;
+  TimeNs main_now_ = 0;  ///< window start / final time (sharded mode)
+  std::atomic<bool> stopped_{false};
+  std::vector<std::unique_ptr<Lane>> lanes_;
+};
 
-  TimeNs now_ = 0;
-  bool stopped_ = false;
-  std::uint64_t next_seq_ = 1;
-  std::uint64_t processed_ = 0;
-  std::size_t pending_ = 0;
-  std::vector<HeapEntry> heap_;
-  std::vector<Slot> slots_;
-  std::uint32_t free_head_ = kNoFreeSlot;
-  Rng rng_;
+/// RAII marker (internal): designates `lane` as the lane executing on the
+/// calling thread, which routes Engine::at/now/rng to it. Used by the
+/// engine's own run loops and the window coordinator's workers.
+class ActiveLaneScope {
+ public:
+  ActiveLaneScope(Engine& engine, Lane& lane) noexcept;
+  ~ActiveLaneScope();
+  ActiveLaneScope(const ActiveLaneScope&) = delete;
+  ActiveLaneScope& operator=(const ActiveLaneScope&) = delete;
+
+ private:
+  Engine* prev_engine_;
+  Lane* prev_lane_;
 };
 
 }  // namespace sym::sim

@@ -24,6 +24,23 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer models one execution context per thread; ucontext
+// switches would otherwise make it see torn stacks and bogus races between
+// a fiber and its scheduler. The __tsan_*_fiber API declares each fiber as
+// its own context and announces every switch (the default flags establish
+// happens-before across the switch). Plain builds compile the helpers to
+// nothing.
+#if defined(__SANITIZE_THREAD__)
+#define SYM_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SYM_TSAN_FIBERS 1
+#endif
+#endif
+#ifdef SYM_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace sym::sim {
 namespace {
 
@@ -51,6 +68,38 @@ inline void asan_finish_switch(void* fake_stack_save, const void** bottom_old,
 #endif
 }
 
+inline void* tsan_current_fiber() {
+#ifdef SYM_TSAN_FIBERS
+  return __tsan_get_current_fiber();
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_switch_to(void* fiber) {
+#ifdef SYM_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_switch_to_fiber(fiber, 0);
+#else
+  (void)fiber;
+#endif
+}
+
+inline void* tsan_create_fiber() {
+#ifdef SYM_TSAN_FIBERS
+  return __tsan_create_fiber(0);
+#else
+  return nullptr;
+#endif
+}
+
+inline void tsan_destroy_fiber(void* fiber) {
+#ifdef SYM_TSAN_FIBERS
+  if (fiber != nullptr) __tsan_destroy_fiber(fiber);
+#else
+  (void)fiber;
+#endif
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -66,7 +115,11 @@ FiberStack::FiberStack(std::size_t size) : size_(size) {
 FiberStack::~FiberStack() { ::operator delete(base_); }
 
 StackPool& StackPool::instance() {
-  static StackPool pool;
+  // One pool per thread: each engine lane is pinned to a single worker, so
+  // a lane's fibers always acquire and release on the same pool with no
+  // synchronization. Single-threaded runs see exactly the old process-wide
+  // behavior.
+  static thread_local StackPool pool;
   return pool;
 }
 
@@ -105,6 +158,7 @@ Fiber::~Fiber() {
   if (!started_ || finished_) {
     StackPool::instance().release(std::move(stack_));
   }
+  tsan_destroy_fiber(tsan_fiber_);
 }
 
 Fiber* Fiber::current() noexcept { return g_current_fiber; }
@@ -122,8 +176,17 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   // The fiber is dying: a null fake-stack-save releases its ASan fake stack.
   asan_start_switch(nullptr, self->asan_sched_bottom_,
                     self->asan_sched_size_);
-  // Falling off the trampoline follows uc_link (return_ctx_), landing back
-  // in switch_in()'s caller.
+  tsan_switch_to(self->tsan_sched_);
+  // Leave through an explicit swapcontext rather than falling off into the
+  // uc_link fallback: returning from this function would run its
+  // instrumented epilogue (__tsan_func_exit) *after* the context-switch
+  // announcement above, popping the scheduler's shadow call stack for an
+  // entry that was pushed on the fiber's — ~100 fiber deaths later the
+  // scheduler's shadow stack underflows and libtsan crashes walking it.
+  // Jumping away keeps entry/exit balanced per context; uc_link remains as
+  // a safety net but is never reached.
+  swapcontext(&self->ctx_, &self->return_ctx_);
+  std::abort();  // unreachable: a finished fiber is never resumed
 }
 
 void Fiber::run_entry() { entry_(); }
@@ -147,6 +210,13 @@ void Fiber::switch_in() {
   g_current_fiber = this;
   void* sched_fake_stack = nullptr;
   asan_start_switch(&sched_fake_stack, stack_->base(), stack_->size());
+#ifdef SYM_TSAN_FIBERS
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = tsan_create_fiber();
+  // Remember the scheduler's TSan context on every entry: a resume may come
+  // from a different scheduler frame (or, across runs, a different thread).
+  tsan_sched_ = tsan_current_fiber();
+  tsan_switch_to(tsan_fiber_);
+#endif
   if (swapcontext(&return_ctx_, &ctx_) != 0) {
     g_current_fiber = prev;
     throw std::runtime_error("swapcontext into fiber failed");
@@ -161,6 +231,7 @@ void Fiber::switch_out() {
   assert(self != nullptr && "switch_out() called outside any fiber");
   asan_start_switch(&self->asan_fake_stack_, self->asan_sched_bottom_,
                     self->asan_sched_size_);
+  tsan_switch_to(self->tsan_sched_);
   if (swapcontext(&self->ctx_, &self->return_ctx_) != 0) {
     throw std::runtime_error("swapcontext out of fiber failed");
   }

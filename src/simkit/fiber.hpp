@@ -6,9 +6,12 @@
 // (the simulation engine's main context) whenever it performs a simulated
 // blocking operation.
 //
-// Stacks are recycled through a process-wide free list because the services
+// Stacks are recycled through a per-thread free list because the services
 // spawn one ULT per RPC request; allocation churn would otherwise dominate
-// host-side run time at scale.
+// host-side run time at scale. The pool is thread-local (one instance per
+// worker thread of the sharded engine) so lanes recycle stacks without
+// locking; each lane is pinned to one worker, so a fiber's stack is
+// acquired and released on the same thread's pool.
 #pragma once
 
 #include <cstddef>
@@ -35,9 +38,10 @@ class FiberStack {
   std::size_t size_ = 0;
 };
 
-/// Process-wide recycling pool for fiber stacks of a single size class.
+/// Per-thread recycling pool for fiber stacks of a single size class.
 class StackPool {
  public:
+  /// The calling thread's pool.
   static StackPool& instance();
 
   std::unique_ptr<FiberStack> acquire(std::size_t size);
@@ -108,6 +112,12 @@ class Fiber {
   void* asan_fake_stack_ = nullptr;
   const void* asan_sched_bottom_ = nullptr;
   std::size_t asan_sched_size_ = 0;
+
+  // ThreadSanitizer fiber handles (same layout rule): this fiber's TSan
+  // context, created lazily on first entry, and the scheduler context to
+  // switch back to. See __tsan_{create,switch_to,destroy}_fiber.
+  void* tsan_fiber_ = nullptr;
+  void* tsan_sched_ = nullptr;
 };
 
 }  // namespace sym::sim

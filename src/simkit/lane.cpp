@@ -1,0 +1,169 @@
+#include "simkit/lane.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace sym::sim {
+
+Lane::Lane(std::uint32_t index, std::uint64_t seed, std::uint32_t lane_count)
+    : index_(index), rng_(seed), outbox_(lane_count) {}
+
+// ---------------------------------------------------------------------------
+// Slot table
+// ---------------------------------------------------------------------------
+
+std::uint32_t Lane::acquire_slot() {
+  std::uint32_t idx;
+  if (free_head_ != kNoFreeSlot) {
+    idx = free_head_;
+    free_head_ = slots_[idx].next_free;
+  } else {
+    idx = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[idx];
+  s.in_use = true;
+  s.cancelled = false;
+  return idx;
+}
+
+void Lane::release_slot(std::uint32_t idx) noexcept {
+  Slot& s = slots_[idx];
+  s.cb = nullptr;
+  s.in_use = false;
+  s.cancelled = false;
+  ++s.generation;  // invalidate every outstanding id for this slot
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+// ---------------------------------------------------------------------------
+// 4-ary heap
+// ---------------------------------------------------------------------------
+
+void Lane::heap_push(HeapEntry e) {
+  std::size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Lane::HeapEntry Lane::heap_pop() {
+  assert(!heap_.empty());
+  const HeapEntry top = heap_[0];
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], heap_[i])) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
+void Lane::drop_cancelled_top() {
+  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
+    release_slot(heap_pop().slot);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling
+// ---------------------------------------------------------------------------
+
+std::uint64_t Lane::schedule(TimeNs t, Callback cb) {
+  assert(cb && "scheduling an empty callback");
+  if (t < now_) t = now_;  // no scheduling into the past
+  const std::uint32_t idx = acquire_slot();
+  slots_[idx].cb = std::move(cb);
+  heap_push(HeapEntry{t, next_seq_++, idx});
+  ++pending_;
+  return (static_cast<std::uint64_t>(slots_[idx].generation & 0x0FFFFFFFu)
+          << 28) |
+         idx;
+}
+
+bool Lane::cancel(std::uint32_t slot, std::uint32_t generation) {
+  if (slot >= slots_.size()) return false;
+  Slot& s = slots_[slot];
+  // A fired or re-used slot fails the generation check: cancelling a stale
+  // id is a no-op, with no tombstone left behind. The heap entry stays in
+  // place and is dropped with a flag test when it surfaces.
+  if (!s.in_use || (s.generation & 0x0FFFFFFFu) != generation || s.cancelled) {
+    return false;
+  }
+  s.cancelled = true;
+  s.cb = nullptr;  // free captured state eagerly
+  --pending_;
+  return true;
+}
+
+void Lane::post_remote(std::uint32_t dst, TimeNs t, Callback cb) {
+  assert(dst < outbox_.size());
+  outbox_[dst].push_back(RemoteEvent{t, std::move(cb)});
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+bool Lane::pop_and_run() {
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_pop();
+    Slot& s = slots_[top.slot];
+    if (s.cancelled) {
+      release_slot(top.slot);
+      continue;
+    }
+    now_ = top.t;
+    ++processed_;
+    --pending_;
+    Callback cb = std::move(s.cb);
+    // Release before running: a callback cancelling its own (now stale) id
+    // or scheduling new events must see a consistent slot table.
+    release_slot(top.slot);
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Lane::run_window(TimeNs end) {
+  std::size_t ran = 0;
+  while (true) {
+    drop_cancelled_top();
+    if (heap_.empty() || heap_[0].t >= end) break;
+    pop_and_run();
+    ++ran;
+  }
+  return ran;
+}
+
+bool Lane::peek_next(TimeNs& t) {
+  drop_cancelled_top();
+  if (heap_.empty()) return false;
+  t = heap_[0].t;
+  return true;
+}
+
+void Lane::absorb_outbox_from(Lane& src) {
+  auto& box = src.outbox_[index_];
+  for (auto& ev : box) schedule(ev.t, std::move(ev.cb));
+  box.clear();
+}
+
+}  // namespace sym::sim

@@ -1,0 +1,120 @@
+// simkit/lane.hpp
+//
+// One shard of the discrete-event engine. A Lane owns everything the old
+// single-threaded engine owned — a 4-ary heap of generation-tagged event
+// slots, a virtual clock, a FIFO sequence counter and an independently
+// seeded Rng stream — for the subset of simulated nodes mapped to it
+// (node % lane_count). During a safe window (see engine.hpp) every lane is
+// executed by exactly one worker thread and touches only lane-local state;
+// events destined for another lane are appended to a per-destination outbox
+// that the coordinator merges at the window barrier in (src-lane, append)
+// order, which keeps the merged schedule independent of the worker count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simkit/rng.hpp"
+#include "simkit/time.hpp"
+
+namespace sym::sim {
+
+class Engine;
+
+class Lane {
+ public:
+  using Callback = std::function<void()>;
+
+  Lane(std::uint32_t index, std::uint64_t seed, std::uint32_t lane_count);
+  Lane(const Lane&) = delete;
+  Lane& operator=(const Lane&) = delete;
+
+  [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
+  [[nodiscard]] TimeNs now() const noexcept { return now_; }
+  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Schedule `cb` at absolute time `t` (clamped to now()). Returns the
+  /// slot/generation half of an Engine::EventId (lane bits added by the
+  /// engine). Must only be called from the thread currently executing this
+  /// lane, or while no window is executing.
+  std::uint64_t schedule(TimeNs t, Callback cb);
+
+  /// Cancel by slot index + 28-bit generation. Same threading rule as
+  /// schedule().
+  bool cancel(std::uint32_t slot, std::uint32_t generation);
+
+  /// Append a cross-lane event to this (source) lane's outbox for `dst`.
+  /// Delivered — with a sequence number assigned deterministically — when
+  /// the coordinator merges outboxes at the next window barrier.
+  void post_remote(std::uint32_t dst, TimeNs t, Callback cb);
+
+  /// Execute the single earliest event. Returns false if the lane is empty.
+  bool pop_and_run();
+
+  /// Execute every event with timestamp strictly below `end`, including
+  /// events scheduled onto this lane while the window runs.
+  std::size_t run_window(TimeNs end);
+
+  /// Surface the earliest live (non-cancelled) event time. Returns false if
+  /// the lane holds no live events.
+  bool peek_next(TimeNs& t);
+
+  /// Drain `src`'s outbox for this lane into this lane's heap, preserving
+  /// append order. Called by the coordinator between windows.
+  void absorb_outbox_from(Lane& src);
+
+ private:
+  /// Heap entries are 24 bytes (no callback): the callback lives in the
+  /// slot table, so sift operations move small PODs only.
+  struct HeapEntry {
+    TimeNs t;
+    std::uint64_t seq;  ///< monotonically increasing FIFO tie-break
+    std::uint32_t slot;
+  };
+
+  struct Slot {
+    Callback cb;
+    std::uint32_t generation = 1;
+    std::uint32_t next_free = 0;
+    bool in_use = false;
+    bool cancelled = false;
+  };
+
+  struct RemoteEvent {
+    TimeNs t;
+    Callback cb;
+  };
+
+  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
+
+  [[nodiscard]] static bool before(const HeapEntry& a,
+                                   const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx) noexcept;
+
+  void heap_push(HeapEntry e);
+  /// Remove and return the top entry (caller checks non-empty).
+  HeapEntry heap_pop();
+  /// Drop cancelled entries off the top, releasing their slots.
+  void drop_cancelled_top();
+
+  std::uint32_t index_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t processed_ = 0;
+  std::size_t pending_ = 0;
+  std::vector<HeapEntry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNoFreeSlot;
+  Rng rng_;
+  std::vector<std::vector<RemoteEvent>> outbox_;  ///< one per destination lane
+};
+
+}  // namespace sym::sim

@@ -1,0 +1,75 @@
+#include "simkit/window.hpp"
+
+#include <cassert>
+
+#include "simkit/engine.hpp"
+#include "simkit/lane.hpp"
+
+namespace sym::sim {
+
+WindowCoordinator::WindowCoordinator(Engine& engine, std::uint32_t workers)
+    : engine_(engine),
+      workers_(workers == 0 ? 1 : workers),
+      // Participants: the workers plus the coordinating thread. With one
+      // worker the coordinator runs the lanes itself and the barrier is
+      // never used (but must still be constructible).
+      sync_(workers_ > 1 ? static_cast<std::ptrdiff_t>(workers_) + 1 : 1) {
+  if (workers_ > 1) {
+    threads_.reserve(workers_);
+    for (std::uint32_t w = 0; w < workers_; ++w) {
+      threads_.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+WindowCoordinator::~WindowCoordinator() {
+  if (!threads_.empty()) {
+    done_.store(true, std::memory_order_release);
+    sync_.arrive_and_wait();  // release workers into their exit check
+    for (auto& t : threads_) t.join();
+  }
+}
+
+void WindowCoordinator::worker_main(std::uint32_t worker) {
+  for (;;) {
+    sync_.arrive_and_wait();  // window start (or shutdown)
+    if (done_.load(std::memory_order_acquire)) return;
+    run_lanes_of(worker, window_end_.load(std::memory_order_relaxed));
+    sync_.arrive_and_wait();  // window end
+  }
+}
+
+void WindowCoordinator::run_lanes_of(std::uint32_t worker, TimeNs end) {
+  auto& lanes = engine_.lanes_;
+  const std::uint32_t stride = threads_.empty() ? 1 : workers_;
+  for (std::size_t i = worker; i < lanes.size(); i += stride) {
+    Lane& lane = *lanes[i];
+    ActiveLaneScope scope(engine_, lane);
+    lane.run_window(end);
+  }
+}
+
+void WindowCoordinator::execute_window(TimeNs end) {
+  if (threads_.empty()) {
+    run_lanes_of(0, end);
+  } else {
+    window_end_.store(end, std::memory_order_relaxed);
+    sync_.arrive_and_wait();  // open the window
+    sync_.arrive_and_wait();  // all lanes done (barrier = full sync point)
+  }
+  merge();
+}
+
+void WindowCoordinator::merge() {
+  auto& lanes = engine_.lanes_;
+  // Fixed (dst, src, append) order: the sequence numbers the destination
+  // assigns to merged events depend only on the mailbox contents, never on
+  // which worker finished first.
+  for (auto& dst : lanes) {
+    for (auto& src : lanes) {
+      if (dst != src) dst->absorb_outbox_from(*src);
+    }
+  }
+}
+
+}  // namespace sym::sim

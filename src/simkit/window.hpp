@@ -1,0 +1,53 @@
+// simkit/window.hpp
+//
+// Worker pool and barrier protocol for the sharded engine's conservative
+// safe-window execution. One coordinator (the thread that called
+// Engine::run) decides window boundaries; `worker_count` threads execute
+// the lanes of each window concurrently (lane i is pinned to worker
+// i % worker_count for the lifetime of the pool, so every fiber resumes on
+// the thread that suspended it); the coordinator then merges the cross-lane
+// mailboxes single-threaded, in (dst, src, append) order, which makes the
+// post-window schedule independent of execution timing. With worker_count
+// == 1 no threads are spawned and the coordinator runs the lanes itself in
+// lane order — producing bit-identical results, just without overlap.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "simkit/time.hpp"
+
+namespace sym::sim {
+
+class Engine;
+
+class WindowCoordinator {
+ public:
+  WindowCoordinator(Engine& engine, std::uint32_t workers);
+  ~WindowCoordinator();
+  WindowCoordinator(const WindowCoordinator&) = delete;
+  WindowCoordinator& operator=(const WindowCoordinator&) = delete;
+
+  /// Run every lane up to (exclusive) `end`, then merge the cross-lane
+  /// mailboxes. Returns once the whole window — execution and merge — is
+  /// complete.
+  void execute_window(TimeNs end);
+
+ private:
+  void worker_main(std::uint32_t worker);
+  /// Execute the lanes statically assigned to `worker` for this window.
+  void run_lanes_of(std::uint32_t worker, TimeNs end);
+  void merge();
+
+  Engine& engine_;
+  std::uint32_t workers_;
+  std::atomic<TimeNs> window_end_{0};
+  std::atomic<bool> done_{false};
+  std::barrier<> sync_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace sym::sim

@@ -88,11 +88,15 @@ void Endpoint::post_send(EpAddr dst, std::uint64_t tag,
                      .attachment = nullptr});
   });
 
-  // Receiver-side delivery.
+  // Receiver-side delivery: scheduled onto the lane that owns the
+  // destination node, so all peer-state mutation is lane-local. For a
+  // cross-lane send this routes through the window mailbox — safe, because
+  // arrival is at least one link latency (>= the engine lookahead) away.
   auto shared = std::make_shared<std::vector<std::byte>>(std::move(data));
   const EpAddr src = addr_;
-  engine.at(timing.arrival, [&peer, src, tag, context, bytes, shared,
-                             attachment = std::move(attachment)] {
+  engine.at_on(engine.lane_for_node(peer.process_.node()), timing.arrival,
+               [&peer, src, tag, context, bytes, shared,
+                attachment = std::move(attachment)] {
     ++peer.recvs_;
     peer.cq_.push(CqEntry{.kind = CqKind::kRecv,
                           .peer = src,
@@ -120,26 +124,62 @@ void Endpoint::post_rdma(EpAddr peer_addr, std::uint64_t bytes,
   const auto request_arrives =
       engine.now() + fabric_.per_message_overhead() +
       cluster.link_latency(src_node, peer_node);
-  sim::TimeNs data_done;
-  if (src_node == peer_node) {
-    const auto xfer = static_cast<sim::DurationNs>(
-        static_cast<double>(bytes) / cluster.params().mem_bw_bytes_per_ns);
-    data_done = request_arrives + xfer;
-  } else {
-    data_done = cluster.node(peer_node).reserve_nic(
-        request_arrives, bytes, cluster.params().nic_bw_bytes_per_ns);
-  }
-  const auto complete_at = data_done + cluster.link_latency(src_node, peer_node);
 
-  engine.at(complete_at, [this, peer_addr, context, bytes] {
-    cq_.push(CqEntry{.kind = CqKind::kRdmaComplete,
-                     .peer = peer_addr,
-                     .tag = 0,
-                     .context = context,
-                     .bytes = bytes,
-                     .data = {},
-                     .attachment = nullptr});
-  });
+  const auto src_lane = engine.lane_for_node(src_node);
+  const auto peer_lane = engine.lane_for_node(peer_node);
+  if (src_lane == peer_lane) {
+    // The peer's NIC state is owned by the initiator's own lane (always the
+    // case for the single-lane engine): reserve it synchronously, exactly
+    // as the historical implementation did.
+    sim::TimeNs data_done;
+    if (src_node == peer_node) {
+      const auto xfer = static_cast<sim::DurationNs>(
+          static_cast<double>(bytes) / cluster.params().mem_bw_bytes_per_ns);
+      data_done = request_arrives + xfer;
+    } else {
+      data_done = cluster.node(peer_node).reserve_nic(
+          request_arrives, bytes, cluster.params().nic_bw_bytes_per_ns);
+    }
+    const auto complete_at =
+        data_done + cluster.link_latency(src_node, peer_node);
+
+    engine.at(complete_at, [this, peer_addr, context, bytes] {
+      cq_.push(CqEntry{.kind = CqKind::kRdmaComplete,
+                       .peer = peer_addr,
+                       .tag = 0,
+                       .context = context,
+                       .bytes = bytes,
+                       .data = {},
+                       .attachment = nullptr});
+    });
+    return;
+  }
+
+  // Sharded engine, remote peer: the peer NIC belongs to another lane, so
+  // the reservation itself becomes an event on that lane (delivered through
+  // the window mailbox — request_arrives is >= one link latency away). The
+  // completion is then scheduled back onto the initiator's lane, again at
+  // least one link latency in the future.
+  auto* cluster_p = &cluster;
+  engine.at_on(
+      peer_lane, request_arrives,
+      [this, cluster_p, src_node, peer_node, peer_addr, context, bytes,
+       src_lane] {
+        auto& eng = fabric_.engine();
+        const auto data_done = cluster_p->node(peer_node).reserve_nic(
+            eng.now(), bytes, cluster_p->params().nic_bw_bytes_per_ns);
+        const auto complete_at =
+            data_done + cluster_p->link_latency(src_node, peer_node);
+        eng.at_on(src_lane, complete_at, [this, peer_addr, context, bytes] {
+          cq_.push(CqEntry{.kind = CqKind::kRdmaComplete,
+                           .peer = peer_addr,
+                           .tag = 0,
+                           .context = context,
+                           .bytes = bytes,
+                           .data = {},
+                           .attachment = nullptr});
+        });
+      });
 }
 
 // ---------------------------------------------------------------------------

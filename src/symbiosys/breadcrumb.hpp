@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -52,6 +53,10 @@ inline constexpr int kMaxCallpathDepth = 4;
 
 /// Registry mapping 16-bit name hashes back to RPC names for reporting.
 /// One registry is shared per simulation (names are identical everywhere).
+/// Internally synchronized: instances on different engine lanes register
+/// action/RPC names concurrently from worker threads. The map holds names
+/// only — no state that affects execution — so the registration order does
+/// not perturb simulation results.
 class NameRegistry {
  public:
   void register_name(std::string_view name);
@@ -60,13 +65,14 @@ class NameRegistry {
   /// Render a breadcrumb as "a => b => c" using registered names.
   [[nodiscard]] std::string format(Breadcrumb bc) const;
 
-  void clear() { names_.clear(); }
+  void clear();
 
   /// Simulation-global instance (deterministic: names only, no state that
   /// affects execution).
   static NameRegistry& global();
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<std::uint16_t, std::string> names_;
 };
 

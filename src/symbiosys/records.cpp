@@ -32,13 +32,20 @@ int depth(Breadcrumb bc) noexcept {
 }
 
 void NameRegistry::register_name(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
   names_.emplace(hash16(name), std::string(name));
 }
 
 std::string NameRegistry::lookup(std::uint16_t h) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   auto it = names_.find(h);
   if (it != names_.end()) return it->second;
   return "<0x" + std::to_string(h) + ">";
+}
+
+void NameRegistry::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  names_.clear();
 }
 
 std::string NameRegistry::format(Breadcrumb bc) const {

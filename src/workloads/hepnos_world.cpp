@@ -6,7 +6,7 @@
 namespace sym::workloads {
 
 HepnosWorld::HepnosWorld(Params params)
-    : params_(std::move(params)), eng_(params_.seed) {
+    : params_(std::move(params)), eng_(params_.seed, params_.exec) {
   const auto& cfg = params_.config;
   if (cfg.databases % cfg.total_servers != 0) {
     throw std::invalid_argument(
@@ -98,8 +98,25 @@ void HepnosWorld::run() {
           params_.config.batch_size, "NOvA",
           static_cast<std::uint32_t>(i), params_.config.pipeline_ops, delay);
       mid.finalize();
-      if (--*remaining == 0) {
-        for (auto& s : servers_) s->finalize();
+      if (!eng_.parallel()) {
+        if (--*remaining == 0) {
+          for (auto& s : servers_) s->finalize();
+        }
+      } else {
+        // Clients complete on their own lanes: serialize the countdown on
+        // lane 0 and fan the server finalize back out to each server's home
+        // lane. Cross-lane posts with delay >= lookahead are always
+        // window-safe, and the mailbox merge order makes this independent
+        // of the worker count.
+        eng_.after_on(0, eng_.lookahead(), [this, remaining] {
+          if (--*remaining == 0) {
+            for (auto& s : servers_) {
+              margo::Instance* sp = s.get();
+              eng_.after_on(eng_.lane_for_node(sp->process().node()),
+                            eng_.lookahead(), [sp] { sp->finalize(); });
+            }
+          }
+        });
       }
     });
   }

@@ -16,6 +16,7 @@
 #include "services/hepnos/hepnos.hpp"
 #include "services/ssg/ssg.hpp"
 #include "simkit/cluster.hpp"
+#include "simkit/engine.hpp"
 #include "sofi/fabric.hpp"
 #include "workloads/table4.hpp"
 
@@ -32,6 +33,10 @@ class HepnosWorld {
     /// Client start times are staggered uniformly over this window.
     sim::DurationNs start_spread = sim::usec(500);
     std::uint64_t seed = 42;
+    /// Engine execution knobs (lane sharding / worker threads). The default
+    /// is the classic single-threaded engine; set `lane_count = 0` for one
+    /// lane per simulated node.
+    sim::EngineConfig exec{};
   };
 
   explicit HepnosWorld(Params params);

@@ -3,7 +3,7 @@
 namespace sym::workloads {
 
 MobjectWorld::MobjectWorld(Params params)
-    : params_(std::move(params)), eng_(params_.seed) {
+    : params_(std::move(params)), eng_(params_.seed, params_.exec) {
   // Everything colocated on one physical node, as in the paper's setup.
   sim::ClusterParams cp;
   cp.node_count = 1;

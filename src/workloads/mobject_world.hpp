@@ -13,6 +13,7 @@
 #include "margolite/instance.hpp"
 #include "services/mobject/mobject.hpp"
 #include "simkit/cluster.hpp"
+#include "simkit/engine.hpp"
 #include "sofi/fabric.hpp"
 
 namespace sym::workloads {
@@ -33,6 +34,10 @@ class MobjectWorld {
     IorConfig ior{};
     prof::Level instr = prof::Level::kFull;
     std::uint64_t seed = 42;
+    /// Engine execution knobs (lane sharding / worker threads). Mobject is
+    /// a single-node deployment, so auto-sharding yields one lane; the knob
+    /// mainly exercises the parallel plumbing in tests.
+    sim::EngineConfig exec{};
   };
 
   explicit MobjectWorld(Params params);
