@@ -8,6 +8,9 @@ namespace sym::sim {
 
 TimeNs Node::reserve_nic(TimeNs now, std::uint64_t bytes,
                          double bw_bytes_per_ns) {
+  // NIC serialization state is owned by the lane that owns this node; a
+  // reservation from a foreign lane would race and reorder transfers.
+  debug::assert_home_lane(this, "Node::reserve_nic");
   assert(bw_bytes_per_ns > 0.0);
   const TimeNs start = now > nic_busy_until_ ? now : nic_busy_until_;
   const auto xfer =
@@ -48,6 +51,15 @@ Cluster::Cluster(Engine& engine, ClusterParams params)
     }
     nodes_.emplace_back(id, skew);
   }
+  // nodes_ was reserved to its final size above, so the addresses are
+  // stable for the cluster's lifetime — register each node's home lane.
+  for (NodeId id = 0; id < params_.node_count; ++id) {
+    debug::bind_home_lane(&nodes_[id], engine_.lane_for_node(id));
+  }
+}
+
+Cluster::~Cluster() {
+  for (auto& n : nodes_) debug::unbind_home_lane(&n);
 }
 
 Process& Cluster::spawn_process(NodeId node, std::string name) {

@@ -126,6 +126,9 @@ class Process {
 class Cluster {
  public:
   Cluster(Engine& engine, ClusterParams params);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   [[nodiscard]] Engine& engine() noexcept { return engine_; }
   [[nodiscard]] const ClusterParams& params() const noexcept { return params_; }

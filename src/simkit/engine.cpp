@@ -36,11 +36,14 @@ ActiveLaneScope::ActiveLaneScope(Engine& engine, Lane& lane) noexcept
     : prev_engine_(t_active.engine), prev_lane_(t_active.lane) {
   t_active.engine = &engine;
   t_active.lane = &lane;
+  debug::set_current_lane(lane.index());
 }
 
 ActiveLaneScope::~ActiveLaneScope() {
   t_active.engine = prev_engine_;
   t_active.lane = prev_lane_;
+  debug::set_current_lane(prev_lane_ != nullptr ? prev_lane_->index()
+                                                : debug::kNoLane);
 }
 
 // ---------------------------------------------------------------------------
@@ -244,6 +247,14 @@ std::uint64_t Engine::events_processed() const noexcept {
   std::uint64_t n = 0;
   for (const auto& l : lanes_) n += l->processed();
   return n;
+}
+
+std::uint64_t Engine::event_digest() const noexcept {
+  std::uint64_t h = 0;
+  for (const auto& l : lanes_) {
+    h ^= l->digest() + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
 }
 
 }  // namespace sym::sim

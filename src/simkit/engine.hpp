@@ -145,6 +145,19 @@ class Engine {
   [[nodiscard]] std::size_t pending_events() const noexcept;
   [[nodiscard]] std::uint64_t events_processed() const noexcept;
 
+  /// Rolling digest of the executed event stream, folded over the lanes in
+  /// lane-index order. Two runs with the same lane count must produce the
+  /// same digest for every worker_count; only maintained under
+  /// -DSYM_DEBUG_CHECKS=ON (0 otherwise). See docs/STATIC_ANALYSIS.md.
+  [[nodiscard]] std::uint64_t event_digest() const noexcept;
+
+#if SYM_DEBUG_CHECKS
+  /// Test-only escape hatch: direct access to a Lane, bypassing the at_on
+  /// mailbox discipline. Exists so the debug_checks suite can plant a
+  /// cross-lane touch and assert the ownership verifier catches it.
+  [[nodiscard]] Lane& debug_lane(std::uint32_t lane) { return *lanes_[lane]; }
+#endif
+
   // --- lane topology -------------------------------------------------------
 
   [[nodiscard]] std::uint32_t lane_count() const noexcept {

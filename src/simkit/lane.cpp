@@ -7,7 +7,11 @@
 namespace sym::sim {
 
 Lane::Lane(std::uint32_t index, std::uint64_t seed, std::uint32_t lane_count)
-    : index_(index), rng_(seed), outbox_(lane_count) {}
+    : index_(index), rng_(seed), outbox_(lane_count) {
+  debug::bind_home_lane(this, index_);
+}
+
+Lane::~Lane() { debug::unbind_home_lane(this); }
 
 // ---------------------------------------------------------------------------
 // Slot table
@@ -87,6 +91,9 @@ void Lane::drop_cancelled_top() {
 
 std::uint64_t Lane::schedule(TimeNs t, Callback cb) {
   assert(cb && "scheduling an empty callback");
+  // The slot table and heap are lane-owned: inserting from a foreign
+  // worker's lane is exactly the cross-lane bug at_on's mailbox prevents.
+  debug::assert_home_lane(this, "Lane::schedule");
   if (t < now_) t = now_;  // no scheduling into the past
   const std::uint32_t idx = acquire_slot();
   slots_[idx].cb = std::move(cb);
@@ -98,6 +105,7 @@ std::uint64_t Lane::schedule(TimeNs t, Callback cb) {
 }
 
 bool Lane::cancel(std::uint32_t slot, std::uint32_t generation) {
+  debug::assert_home_lane(this, "Lane::cancel");
   if (slot >= slots_.size()) return false;
   Slot& s = slots_[slot];
   // A fired or re-used slot fails the generation check: cancelling a stale
@@ -122,6 +130,7 @@ void Lane::post_remote(std::uint32_t dst, TimeNs t, Callback cb) {
 // ---------------------------------------------------------------------------
 
 bool Lane::pop_and_run() {
+  debug::assert_home_lane(this, "Lane::pop_and_run");
   while (!heap_.empty()) {
     const HeapEntry top = heap_pop();
     Slot& s = slots_[top.slot];
@@ -132,6 +141,15 @@ bool Lane::pop_and_run() {
     now_ = top.t;
     ++processed_;
     --pending_;
+#if SYM_DEBUG_CHECKS
+    // Fold (timestamp, FIFO seq) of every executed event into the rolling
+    // per-lane digest; identical schedules => identical digests.
+    const auto mix = [](std::uint64_t h, std::uint64_t v) noexcept {
+      h ^= v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+      return h;
+    };
+    digest_ = mix(mix(digest_, top.t), top.seq);
+#endif
     Callback cb = std::move(s.cb);
     // Release before running: a callback cancelling its own (now stale) id
     // or scheduling new events must see a consistent slot table.

@@ -15,6 +15,7 @@
 #include <functional>
 #include <vector>
 
+#include "simkit/debug_checks.hpp"
 #include "simkit/rng.hpp"
 #include "simkit/time.hpp"
 
@@ -27,14 +28,27 @@ class Lane {
   using Callback = std::function<void()>;
 
   Lane(std::uint32_t index, std::uint64_t seed, std::uint32_t lane_count);
+  ~Lane();
   Lane(const Lane&) = delete;
   Lane& operator=(const Lane&) = delete;
 
   [[nodiscard]] std::uint32_t index() const noexcept { return index_; }
   [[nodiscard]] TimeNs now() const noexcept { return now_; }
-  [[nodiscard]] Rng& rng() noexcept { return rng_; }
+  [[nodiscard]] Rng& rng() noexcept {
+    // The Rng stream is lane-owned state: a draw from a foreign worker both
+    // races and perturbs the stream the home lane's events replay.
+    debug::assert_home_lane(this, "Lane::rng");
+    return rng_;
+  }
   [[nodiscard]] std::size_t pending() const noexcept { return pending_; }
   [[nodiscard]] std::uint64_t processed() const noexcept { return processed_; }
+
+  /// Rolling digest of the executed event stream (timestamp + FIFO sequence
+  /// of every event run), folded per lane. Only maintained under
+  /// -DSYM_DEBUG_CHECKS=ON (always 0 otherwise); the debug_checks test
+  /// suite compares Engine::event_digest() across worker counts so a
+  /// determinism regression fails loudly instead of skewing figures.
+  [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
 
   /// Schedule `cb` at absolute time `t` (clamped to now()). Returns the
   /// slot/generation half of an Engine::EventId (lane bits added by the
@@ -107,6 +121,7 @@ class Lane {
 
   std::uint32_t index_;
   TimeNs now_ = 0;
+  std::uint64_t digest_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t pending_ = 0;

@@ -61,13 +61,21 @@ bool CompletionQueue::wait_nonempty(sim::DurationNs timeout) {
 // ---------------------------------------------------------------------------
 
 Endpoint::Endpoint(Fabric& fabric, EpAddr addr, sim::Process& process)
-    : fabric_(fabric), addr_(addr), process_(process), cq_(fabric.engine()) {}
+    : fabric_(fabric), addr_(addr), process_(process), cq_(fabric.engine()) {
+  // The endpoint's completion queue and counters are owned by the lane that
+  // owns its node: delivery events are always scheduled onto that lane.
+  sim::debug::bind_home_lane(
+      this, fabric.engine().lane_for_node(process.node()));
+}
+
+Endpoint::~Endpoint() { sim::debug::unbind_home_lane(this); }
 
 void Endpoint::post_send(EpAddr dst, std::uint64_t tag,
                          std::vector<std::byte> data, std::uint64_t context,
                          std::uint64_t wire_bytes,
                          std::shared_ptr<const void> attachment) {
   Endpoint& peer = fabric_.endpoint(dst);
+  sim::debug::assert_home_lane(this, "Endpoint::post_send");
   const std::uint64_t bytes =
       wire_bytes != 0 ? wire_bytes : static_cast<std::uint64_t>(data.size());
   ++sends_;
@@ -97,6 +105,7 @@ void Endpoint::post_send(EpAddr dst, std::uint64_t tag,
   engine.at_on(engine.lane_for_node(peer.process_.node()), timing.arrival,
                [&peer, src, tag, context, bytes, shared,
                 attachment = std::move(attachment)] {
+    sim::debug::assert_home_lane(&peer, "Endpoint recv delivery");
     ++peer.recvs_;
     peer.cq_.push(CqEntry{.kind = CqKind::kRecv,
                           .peer = src,
@@ -111,6 +120,7 @@ void Endpoint::post_send(EpAddr dst, std::uint64_t tag,
 void Endpoint::post_rdma(EpAddr peer_addr, std::uint64_t bytes,
                          std::uint64_t context) {
   Endpoint& peer = fabric_.endpoint(peer_addr);
+  sim::debug::assert_home_lane(this, "Endpoint::post_rdma");
   ++rdma_ops_;
   bytes_rdma_ += bytes;
 

@@ -30,6 +30,7 @@ class Fabric;
 class Endpoint {
  public:
   Endpoint(Fabric& fabric, EpAddr addr, sim::Process& process);
+  ~Endpoint();
   Endpoint(const Endpoint&) = delete;
   Endpoint& operator=(const Endpoint&) = delete;
 

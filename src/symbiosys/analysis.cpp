@@ -72,14 +72,20 @@ ProfileSummary ProfileSummary::build(
     }
   }
 
+  // Emit in sorted-breadcrumb order: the report ordering and the
+  // floating-point accumulation order of total_ns must not depend on the
+  // hash layout of `merged` (or on the order the stores were passed in).
   ProfileSummary out;
   out.callpaths.reserve(merged.size());
-  for (auto& [bc, cb] : merged) {
+  for (const Breadcrumb bc : sorted_keys(merged)) {
+    CallpathBreakdown& cb = merged[bc];
     cb.name = NameRegistry::global().format(bc);
-    for (const auto& [ep, ns] : per_origin[bc]) {
+    const std::map<std::uint32_t, double>& origin_ns = per_origin[bc];
+    for (const auto& [ep, ns] : origin_ns) {
       cb.per_origin_ns.emplace_back(ep, ns);
     }
-    for (const auto& [ep, ns] : per_target[bc]) {
+    const std::map<std::uint32_t, double>& target_ns = per_target[bc];
+    for (const auto& [ep, ns] : target_ns) {
       cb.per_target_ns.emplace_back(ep, ns);
     }
     out.total_ns += cb.cumulative_ns;

@@ -12,6 +12,7 @@
 //  * SysStatsSummary — summarizes the periodic system-statistics samples.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -21,6 +22,20 @@
 #include "symbiosys/records.hpp"
 
 namespace sym::prof {
+
+/// Sorted key vector of an associative container. Consolidation paths keep
+/// unordered maps for O(1) merging but must emit in an order that does not
+/// depend on the hash layout (symlint rule D2, docs/STATIC_ANALYSIS.md) —
+/// collect the keys with this helper and iterate those.
+template <typename Map>
+[[nodiscard]] std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  // symlint: allow(unordered-iter) reason=keys are sorted before any use
+  for (const auto& kv : m) keys.push_back(kv.first);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
 
 // ---------------------------------------------------------------------------
 // Profile summary

@@ -72,6 +72,9 @@ class NameRegistry {
   static NameRegistry& global();
 
  private:
+  // symlint: allow(fiber-blocking) reason=guards against concurrent lane
+  // *worker threads*, which abt sync (virtual-time, ULT-level) cannot do;
+  // critical sections are tiny and never yield
   mutable std::mutex mu_;
   std::unordered_map<std::uint16_t, std::string> names_;
 };

@@ -135,7 +135,10 @@ AnomalyReport detect_anomalies(const TraceSummary& summary, double threshold,
     }
   }
 
-  for (auto& [bc, samples] : per_path) {
+  // Walk callpaths in sorted-breadcrumb order: per_callpath rows and equal-
+  // deviation anomalies must not inherit the hash layout of `per_path`.
+  for (const Breadcrumb bc : sorted_keys(per_path)) {
+    auto& samples = per_path[bc];
     if (samples.size() < min_samples) continue;
     std::vector<double> durations;
     durations.reserve(samples.size());

@@ -32,11 +32,15 @@ int depth(Breadcrumb bc) noexcept {
 }
 
 void NameRegistry::register_name(std::string_view name) {
+  // symlint: allow(fiber-blocking) reason=registry is shared across lane
+  // worker threads; tiny non-yielding critical section (see breadcrumb.hpp)
   const std::lock_guard<std::mutex> lock(mu_);
   names_.emplace(hash16(name), std::string(name));
 }
 
 std::string NameRegistry::lookup(std::uint16_t h) const {
+  // symlint: allow(fiber-blocking) reason=registry is shared across lane
+  // worker threads; tiny non-yielding critical section (see breadcrumb.hpp)
   const std::lock_guard<std::mutex> lock(mu_);
   auto it = names_.find(h);
   if (it != names_.end()) return it->second;
@@ -44,6 +48,8 @@ std::string NameRegistry::lookup(std::uint16_t h) const {
 }
 
 void NameRegistry::clear() {
+  // symlint: allow(fiber-blocking) reason=registry is shared across lane
+  // worker threads; tiny non-yielding critical section (see breadcrumb.hpp)
   const std::lock_guard<std::mutex> lock(mu_);
   names_.clear();
 }

@@ -1,0 +1,43 @@
+// symlint fixture: annotation handling. Linted under the virtual path
+// "src/symbiosys/fixture_annotated.cpp". Expected findings are pinned by
+// test_symlint.cpp: properly-annotated violations are suppressed; malformed
+// annotations produce A0 findings (and do not suppress).
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace fixture {
+
+inline const char* suppressed_same_line() {
+  return std::getenv("HOME");  // symlint: allow(nondeterminism) reason=test fixture exercising same-line suppression
+}
+
+// symlint: allow(fiber-blocking) reason=fixture exercising suppression from
+// the comment block directly above, spanning multiple comment lines.
+inline std::mutex g_suppressed_mutex;
+
+inline double suppressed_block_above(
+    const std::unordered_map<int, double>& m) {
+  double total = 0.0;
+  // symlint: allow(unordered-iter) reason=commutative fold, order-free
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
+
+inline int missing_reason() {
+  // symlint: allow(nondeterminism)
+  return rand();  // line 29: D1 (A0 annotation does not suppress)
+}
+
+inline int unknown_rule() {
+  // symlint: allow(no-such-rule) reason=typo in the rule name
+  return rand();  // line 34: D1 (A0 annotation does not suppress)
+}
+
+inline const char* wrong_rule_name() {
+  // An allow() for a *different* rule must not suppress this finding.
+  // symlint: allow(unordered-iter) reason=deliberately mismatched rule
+  return std::getenv("PATH");  // line 40: D1
+}
+
+}  // namespace fixture

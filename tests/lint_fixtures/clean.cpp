@@ -1,0 +1,39 @@
+// symlint fixture: a clean translation unit. Linted under the virtual path
+// "src/symbiosys/fixture_clean.cpp" — the strictest scope (D1, D2, D3 and
+// D4 all apply) — and must produce zero findings.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simkit/engine.hpp"
+#include "simkit/rng.hpp"
+
+namespace fixture {
+
+// Words that *contain* rule triggers must not match: "randomized" is not
+// rand(), "timeout" is not time(), "mutex_name" is not std::mutex.
+inline std::uint64_t randomized_timeout_label(const std::string& mutex_name) {
+  return mutex_name.size();
+}
+
+inline std::uint64_t fine_virtual_time(sym::sim::Engine& eng) {
+  // Virtual time and the engine RNG are the sanctioned sources.
+  return eng.now() + eng.rng().uniform(16);
+}
+
+inline std::vector<std::uint64_t> fine_sorted_emission(
+    const std::unordered_map<std::uint64_t, double>& stats) {
+  // Lookup-only use of the unordered map plus an ordered emission loop.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(stats.size());
+  std::map<std::uint64_t, double> ordered(stats.begin(), stats.end());
+  for (const auto& kv : ordered) keys.push_back(kv.first);
+  return keys;
+}
+
+// A comment mentioning std::mutex or rand() is ignored by the lexer.
+inline const char* doc() { return "never calls rand() or time()"; }
+
+}  // namespace fixture

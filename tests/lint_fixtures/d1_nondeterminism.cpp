@@ -1,0 +1,39 @@
+// symlint fixture: D1 nondeterminism violations. Linted by test_symlint.cpp
+// under the virtual path "src/margolite/fixture_d1.cpp"; the expected
+// (rule, line) pairs below are pinned by the test — keep line numbers
+// stable when editing.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+namespace fixture {
+
+struct Timings {
+  // Member *named* time is fine; only calls of the libc function match.
+  long cpu_time() const { return cpu_time_; }
+  long cpu_time_ = 0;
+};
+
+inline long bad_wall_clock() {
+  auto t = std::chrono::steady_clock::now();        // line 19: D1
+  return t.time_since_epoch().count();
+}
+
+inline long bad_libc_time() { return ::time(nullptr); }  // line 23: D1
+
+inline int bad_rand() { return rand(); }  // line 25: D1
+
+inline const char* bad_env() { return std::getenv("SEED"); }  // line 27: D1
+
+inline unsigned bad_random_device() {
+  std::random_device rd;  // line 30: D1
+  return rd();
+}
+
+inline long fine_member_calls(const Timings& t) {
+  // Decoys: member access and qualified names do not match the libc call.
+  return t.cpu_time();
+}
+
+}  // namespace fixture

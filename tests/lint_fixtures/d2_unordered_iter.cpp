@@ -1,0 +1,54 @@
+// symlint fixture: D2 unordered-iteration violations. Linted under the
+// virtual path "src/symbiosys/fixture_d2.cpp" (the rule only applies to
+// export/consolidation/analysis code under src/symbiosys/). Expected
+// (rule, line) pairs are pinned by test_symlint.cpp.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace fixture {
+
+inline double bad_map_iteration(
+    const std::unordered_map<std::uint64_t, double>& merged) {
+  double total = 0.0;
+  for (const auto& kv : merged) {  // line 17: D2
+    total += kv.second;
+  }
+  return total;
+}
+
+inline std::size_t bad_set_iteration(
+    const std::unordered_set<std::string>& names) {
+  std::size_t n = 0;
+  for (const auto& name : names) {  // line 26: D2
+    n += name.size();
+  }
+  return n;
+}
+
+inline double fine_ordered_map(
+    const std::map<std::uint64_t, double>& ordered) {
+  double total = 0.0;
+  // std::map iterates in key order: deterministic, not flagged.
+  for (const auto& kv : ordered) total += kv.second;
+  return total;
+}
+
+inline double fine_lookup_only(
+    const std::unordered_map<std::uint64_t, double>& stats,
+    std::uint64_t key) {
+  // Point lookups are deterministic regardless of hash layout.
+  const auto it = stats.find(key);
+  return it == stats.end() ? 0.0 : it->second;
+}
+
+inline double fine_index_loop(const std::vector<double>& v) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) total += v[i];
+  return total;
+}
+
+}  // namespace fixture

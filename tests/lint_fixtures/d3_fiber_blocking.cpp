@@ -1,0 +1,37 @@
+// symlint fixture: D3 fiber-blocking violations. Linted under the virtual
+// path "src/services/fixture_d3.cpp" (service/model code executes on
+// argolite ULTs; OS-level blocking would stall the whole lane worker).
+// Expected (rule, line) pairs are pinned by test_symlint.cpp.
+#include <mutex>
+#include <thread>
+
+#include "argolite/sync.hpp"
+
+namespace fixture {
+
+struct BadCache {
+  std::mutex mu;  // line 13: D3
+  int value = 0;
+};
+
+inline void bad_lock(BadCache& c) {
+  std::lock_guard<std::mutex> lock(c.mu);  // line 18: D3
+  ++c.value;
+}
+
+inline void bad_spawn_thread() {
+  std::thread t([] {});  // line 23: D3
+  t.join();
+}
+
+inline void bad_sleep() {
+  usleep(10);  // line 28: D3
+}
+
+inline void fine_ult_sync(abt::Mutex& m) {
+  // ULT-level primitives yield the fiber instead of the OS thread.
+  m.lock();
+  m.unlock();
+}
+
+}  // namespace fixture

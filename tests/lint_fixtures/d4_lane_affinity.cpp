@@ -1,0 +1,30 @@
+// symlint fixture: D4 lane-affinity violations. Linted under the virtual
+// path "src/workloads/fixture_d4.cpp" (Lane internals are the engine's
+// business; everything else schedules through Engine::at/at_on). Expected
+// (rule, line) pairs are pinned by test_symlint.cpp.
+#include <cstdint>
+
+#include "simkit/engine.hpp"
+#include "simkit/lane.hpp"
+
+namespace fixture {
+
+inline void bad_lane_pointer(sym::sim::Lane* lane) {  // line 12: D4
+  (void)lane;
+}
+
+inline void bad_mailbox_post(sym::sim::Engine& eng) {
+  eng.debug_lane(0).post_remote(1, 100, 0, [] {});  // line 17: D4
+}
+
+inline void bad_run_window(sym::sim::Engine& eng) {
+  eng.debug_lane(0).run_window(1000);  // line 21: D4
+}
+
+inline void fine_engine_api(sym::sim::Engine& eng) {
+  // The public Engine surface is the sanctioned way to schedule work.
+  eng.at(eng.now() + 100, [] {});
+  eng.at_on(eng.lane_for_node(1), eng.now() + 100, [] {});
+}
+
+}  // namespace fixture

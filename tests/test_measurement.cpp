@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "symbiosys/analysis.hpp"
 #include "symbiosys/chunked_buffer.hpp"
 #include "symbiosys/records.hpp"
 
@@ -241,4 +242,60 @@ TEST(CallpathKeyHash, AdjacentEndpointGridSpreadsUnderMasking) {
   EXPECT_LT(pair_collisions, n / 2) << "hash clusters under masking";
   // A uniform throw of n balls into 2n bins essentially never stacks 8.
   EXPECT_LE(max_load, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// D2 regression: report emission must not depend on hash layout
+// ---------------------------------------------------------------------------
+
+// The same measurement multiset ingested into two stores whose hash tables
+// end up with different layouts (key first-touch order reversed). Before
+// the consolidation paths switched to sorted-key emission (symlint rule D2)
+// the report's callpath and per-endpoint ordering followed the unordered
+// map layout; now the output must be byte-for-byte identical. Durations
+// are integer-valued so double addition is exact in any order — anything
+// that differs is ordering, which is exactly the regression under test.
+TEST(ProfileSummaryDeterminism, ReportIsHashLayoutInvariant) {
+  std::vector<prof::CallpathKey> keys;
+  for (std::uint64_t bc : {0x10ABCULL, 0x25AA5ULL, 0x31234ULL, 0x4FEEDULL}) {
+    for (std::uint32_t ep = 0; ep < 6; ++ep) {
+      keys.push_back(make_key(bc, prof::Side::kOrigin, ep, 100 + ep));
+      keys.push_back(make_key(bc, prof::Side::kTarget, 100 + ep, ep));
+    }
+  }
+
+  // First touch in opposite orders: different insertion (and rehash)
+  // history, hence different open-addressing layouts.
+  prof::ProfileStore fwd;
+  prof::ProfileStore rev;
+  for (const auto& k : keys) fwd.record(k, prof::Interval::kOriginExec, 0.0);
+  for (auto it = keys.rbegin(); it != keys.rend(); ++it) {
+    rev.record(*it, prof::Interval::kOriginExec, 0.0);
+  }
+
+  // The samples proper, identical per-key order for both stores.
+  double salt = 1.0;
+  for (const auto& k : keys) {
+    const double ns = 1000.0 + 16.0 * salt;
+    salt += 1.0;
+    for (prof::ProfileStore* s : {&fwd, &rev}) {
+      s->record(k, prof::Interval::kOriginExec, ns);
+      s->record(k, prof::Interval::kInputSer, ns / 2.0);
+      s->record(k, prof::Interval::kTargetExec, ns / 4.0);
+    }
+  }
+
+  const auto a = prof::ProfileSummary::build({&fwd});
+  const auto b = prof::ProfileSummary::build({&rev});
+
+  EXPECT_EQ(a.format(64), b.format(64));  // byte-for-byte
+  EXPECT_EQ(a.total_ns, b.total_ns);
+  ASSERT_EQ(a.callpaths.size(), b.callpaths.size());
+  for (std::size_t i = 0; i < a.callpaths.size(); ++i) {
+    EXPECT_EQ(a.callpaths[i].breadcrumb, b.callpaths[i].breadcrumb) << i;
+    EXPECT_EQ(a.callpaths[i].per_origin_ns, b.callpaths[i].per_origin_ns)
+        << i;
+    EXPECT_EQ(a.callpaths[i].per_target_ns, b.callpaths[i].per_target_ns)
+        << i;
+  }
 }

@@ -1,0 +1,161 @@
+// Golden-file tests for the symlint static analyzer (tools/symlint).
+//
+// Each fixture in tests/lint_fixtures/ is linted under a *virtual* path
+// (rule applicability is path-scoped: D2 only under src/symbiosys/, D3
+// everywhere under src/ except src/simkit/, ...) and the exact diagnostics
+// — rule id and line — are asserted. The fixtures pin their expected lines
+// in trailing comments; editing a fixture means updating both.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+std::string read_fixture(const std::string& name) {
+  const std::string path = std::string(SYM_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct Expected {
+  std::string rule_id;
+  int line;
+};
+
+/// Lint `fixture` as if it lived at `virtual_path` and compare the full
+/// finding list against `expected`, in order.
+void expect_findings(const std::string& fixture,
+                     const std::string& virtual_path,
+                     const std::vector<Expected>& expected) {
+  const auto findings =
+      symlint::lint_source(virtual_path, read_fixture(fixture));
+  ASSERT_EQ(findings.size(), expected.size())
+      << [&] {
+           std::ostringstream os;
+           os << "findings for " << fixture << ":\n";
+           for (const auto& f : findings) os << "  " << f.format() << "\n";
+           return os.str();
+         }();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(symlint::rule_id(findings[i].rule), expected[i].rule_id)
+        << findings[i].format();
+    EXPECT_EQ(findings[i].line, expected[i].line) << findings[i].format();
+    EXPECT_EQ(findings[i].file, virtual_path);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule detection
+// ---------------------------------------------------------------------------
+
+TEST(Symlint, D1NondeterminismSources) {
+  expect_findings("d1_nondeterminism.cpp", "src/margolite/fixture_d1.cpp",
+                  {{"D1", 19},    // std::chrono::steady_clock
+                   {"D1", 23},    // ::time(nullptr)
+                   {"D1", 25},    // rand()
+                   {"D1", 27},    // std::getenv
+                   {"D1", 30}});  // std::random_device
+}
+
+TEST(Symlint, D2UnorderedIterationInAnalysisCode) {
+  expect_findings("d2_unordered_iter.cpp", "src/symbiosys/fixture_d2.cpp",
+                  {{"D2", 17},    // range-for over unordered_map
+                   {"D2", 26}});  // range-for over unordered_set
+}
+
+TEST(Symlint, D2DoesNotApplyOutsideSymbiosys) {
+  // The same file under a non-analysis path: hash-order iteration of
+  // node-local state is allowed (order never escapes into reports there).
+  expect_findings("d2_unordered_iter.cpp", "src/services/fixture_d2.cpp",
+                  {});
+}
+
+TEST(Symlint, D3FiberBlockingPrimitives) {
+  expect_findings("d3_fiber_blocking.cpp", "src/services/fixture_d3.cpp",
+                  {{"D3", 13},    // std::mutex member
+                   {"D3", 18},    // std::lock_guard<std::mutex>
+                   {"D3", 23},    // std::thread
+                   {"D3", 28}});  // usleep()
+}
+
+TEST(Symlint, D3DoesNotApplyInsideSimkit) {
+  // The engine substrate owns the real worker threads; std:: threading
+  // there is the implementation of the lane pool, not a violation.
+  expect_findings("d3_fiber_blocking.cpp", "src/simkit/fixture_d3.cpp", {});
+}
+
+TEST(Symlint, D4LaneInternalsOutsideEngineFiles) {
+  expect_findings("d4_lane_affinity.cpp", "src/workloads/fixture_d4.cpp",
+                  {{"D4", 12},    // sim::Lane* in a signature
+                   {"D4", 17},    // .post_remote(...)
+                   {"D4", 21}});  // .run_window(...)
+}
+
+TEST(Symlint, D4AllowedInLaneAndEngineFiles) {
+  expect_findings("d4_lane_affinity.cpp", "src/simkit/lane.cpp", {});
+  expect_findings("d4_lane_affinity.cpp", "src/simkit/engine.cpp", {});
+  expect_findings("d4_lane_affinity.cpp", "src/simkit/window.hpp", {});
+}
+
+TEST(Symlint, CleanFileHasNoFindings) {
+  // Strictest scope: all four rules apply under src/symbiosys/.
+  expect_findings("clean.cpp", "src/symbiosys/fixture_clean.cpp", {});
+}
+
+TEST(Symlint, FilesOutsideSrcAreNotScanned) {
+  expect_findings("d1_nondeterminism.cpp", "tests/fixture_d1.cpp", {});
+  expect_findings("d1_nondeterminism.cpp", "bench/fixture_d1.cpp", {});
+}
+
+// ---------------------------------------------------------------------------
+// allow() annotations
+// ---------------------------------------------------------------------------
+
+TEST(Symlint, AnnotationsSuppressAndMalformedOnesAreFindings) {
+  expect_findings("annotated.cpp", "src/symbiosys/fixture_annotated.cpp",
+                  {{"A0", 28},    // allow() missing reason=
+                   {"D1", 29},    //   ... so the rand() below still fires
+                   {"A0", 33},    // allow(no-such-rule)
+                   {"D1", 34},    //   ... so the rand() below still fires
+                   {"D1", 40}});  // allow() for a different rule
+}
+
+TEST(Symlint, FindingFormatIsStable) {
+  const auto findings = symlint::lint_source(
+      "src/margolite/fixture_d1.cpp", read_fixture("d1_nondeterminism.cpp"));
+  ASSERT_FALSE(findings.empty());
+  const std::string line = findings.front().format();
+  EXPECT_NE(line.find("src/margolite/fixture_d1.cpp:19: [D1/nondeterminism]"),
+            std::string::npos)
+      << line;
+}
+
+// The repository itself must stay clean: this is the same gate the `symlint`
+// ctest target enforces via the CLI, asserted here against the real tree so
+// a lint regression fails in-process with the offending findings printed.
+TEST(Symlint, RepositorySourceTreeIsClean) {
+  // Walk the list the CLI would: every .cpp/.hpp under src/.
+  std::vector<symlint::Finding> findings;
+  const std::string root = std::string(SYM_SOURCE_DIR) + "/src";
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext != ".cpp" && ext != ".hpp" && ext != ".h" && ext != ".cc") {
+      continue;
+    }
+    symlint::lint_file(entry.path().string(), findings);
+  }
+  for (const auto& f : findings) ADD_FAILURE() << f.format();
+}
+
+}  // namespace

@@ -1,0 +1,74 @@
+// tools/symlint/lint.hpp
+//
+// symlint: SYMBIOSYS-specific static analysis. The project's determinism
+// and fiber-safety guarantees (DESIGN.md, docs/ARCHITECTURE.md) are
+// invariants of the *source*, not of any one test run — a stray wall-clock
+// read or an unordered-map walk in an export path produces subtly different
+// figures without failing a single assertion. symlint encodes those
+// invariants as machine-checked rules over src/ and runs as a ctest gate.
+//
+// Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
+//   D1 nondeterminism   no wall-clock / libc randomness / environment reads
+//                       outside simkit/time.hpp and simkit/rng.hpp
+//   D2 unordered-iter   no range-for over std::unordered_{map,set} variables
+//                       in analysis/export code (src/symbiosys)
+//   D3 fiber-blocking   no std::mutex / std::thread / blocking syscalls in
+//                       fiber-executed code — blocking goes through
+//                       argolite's sync primitives (src/simkit is exempt:
+//                       the engine substrate owns the real threads)
+//   D4 lane-affinity    no direct access to Lane internals outside
+//                       simkit/{lane,window,engine}.* — cross-lane work goes
+//                       through the Engine::at_on mailbox API
+//
+// Escape hatch: a finding is suppressed by an annotation on the same line
+// or on the line directly above:
+//   // symlint: allow(<rule>) reason=<non-empty explanation>
+// An allow() without a reason is itself reported (rule A0).
+//
+// The analyzer is deliberately a lexer + per-TU scanner, not an AST tool:
+// it must build dependency-free on a bare toolchain and run in
+// milliseconds over the whole tree. The matching is conservative and the
+// fixture suite (tests/lint_fixtures) pins its exact diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symlint {
+
+enum class Rule {
+  kAnnotation,      // A0: malformed allow() annotation
+  kNondeterminism,  // D1
+  kUnorderedIter,   // D2
+  kFiberBlocking,   // D3
+  kLaneAffinity,    // D4
+};
+
+/// Short rule id ("D1") and annotation name ("nondeterminism") for a rule.
+[[nodiscard]] std::string_view rule_id(Rule r) noexcept;
+[[nodiscard]] std::string_view rule_name(Rule r) noexcept;
+
+struct Finding {
+  Rule rule;
+  std::string file;  ///< path as given to lint_source()
+  int line = 0;      ///< 1-based
+  std::string message;
+
+  /// "file:line: [D1/nondeterminism] message" — the stable CLI format the
+  /// fixture tests pin.
+  [[nodiscard]] std::string format() const;
+};
+
+/// Lint one translation unit. `path` determines which rules apply (rules
+/// are scoped by directory, see above); `content` is the file text. The
+/// path is matched on its normalized form, so callers may pass either a
+/// repo-relative path ("src/simkit/lane.cpp") or an absolute one.
+[[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
+                                               std::string_view content);
+
+/// Lint a file on disk. Returns false (and appends a kAnnotation finding
+/// with the error) if the file cannot be read.
+bool lint_file(const std::string& path, std::vector<Finding>& out);
+
+}  // namespace symlint

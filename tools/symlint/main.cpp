@@ -1,0 +1,66 @@
+// symlint CLI. Usage:
+//
+//   symlint [--root DIR]... [FILE]...
+//
+// Lints every .cpp/.hpp under each --root (recursively) plus any explicit
+// files, prints one diagnostic per line and exits non-zero if any finding
+// survives the allow() annotations. Run as the `symlint` ctest target over
+// src/ (see tools/symlint/CMakeLists.txt and scripts/run_lint.sh).
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "symlint: --root requires a directory\n");
+        return 2;
+      }
+      const fs::path root = argv[++i];
+      std::error_code ec;
+      if (!fs::is_directory(root, ec)) {
+        std::fprintf(stderr, "symlint: not a directory: %s\n",
+                     root.string().c_str());
+        return 2;
+      }
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        const auto ext = entry.path().extension().string();
+        if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: symlint [--root DIR]... [FILE]...\n");
+      return 0;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "symlint: no inputs (try --root src)\n");
+    return 2;
+  }
+  std::sort(files.begin(), files.end());  // deterministic report order
+
+  std::vector<symlint::Finding> findings;
+  for (const auto& f : files) symlint::lint_file(f, findings);
+
+  for (const auto& f : findings) std::printf("%s\n", f.format().c_str());
+  if (!findings.empty()) {
+    std::printf("symlint: %zu finding(s) in %zu file(s) scanned\n",
+                findings.size(), files.size());
+    return 1;
+  }
+  std::printf("symlint: OK (%zu files scanned)\n", files.size());
+  return 0;
+}
