@@ -7,7 +7,10 @@
 #   out-dir    where BENCH_*.json land (default: <build-dir>/bench-results)
 #
 # Set SYM_BENCH_SMOKE=1 for the fast CI variant (same flags the bench_smoke
-# ctest label uses).
+# ctest label uses). Set SYM_BENCH_COMMIT_ROOT=1 to also refresh the
+# committed trajectory files at the repo root (BENCH_overhead.json,
+# BENCH_scaling.json) — full mode only, so a smoke run can never clobber
+# real numbers.
 
 set -eu
 
@@ -42,6 +45,17 @@ echo "== micro_benchmarks =="
   --benchmark_out="$out/BENCH_micro.json" \
   --benchmark_out_format=json \
   ${smoke_flag:+--benchmark_min_time=0.01}
+
+if [ "${SYM_BENCH_COMMIT_ROOT:-0}" = "1" ]; then
+  if [ -n "$smoke_flag" ]; then
+    echo "run_bench: refusing to refresh root BENCH files from a smoke run"
+    exit 1
+  fi
+  cp "$out/BENCH_overhead.json" "$root/BENCH_overhead.json"
+  cp "$out/BENCH_scaling.json" "$root/BENCH_scaling.json"
+  echo "refreshed committed trajectory files: $root/BENCH_overhead.json," \
+       "$root/BENCH_scaling.json"
+fi
 
 echo
 echo "results in $out:"

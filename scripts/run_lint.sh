@@ -5,6 +5,10 @@
 #
 # Usage:
 #   scripts/run_lint.sh [build-dir]               # full lint (default: build)
+#   scripts/run_lint.sh --sarif <out.sarif> [build-dir]
+#       Same full lint, but symlint additionally writes a SARIF 2.1.0 report
+#       to <out.sarif> (for code-scanning upload / editor ingestion). The
+#       report contains post-baseline findings only.
 #   scripts/run_lint.sh --tidy-smoke <build-dir>  # clang-tidy over two
 #       representative TUs only; exits 77 (ctest SKIP) when clang-tidy or
 #       compile_commands.json is unavailable. Run as the clang_tidy_smoke
@@ -19,9 +23,13 @@ set -u
 root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 
 mode=full
+sarif_out=""
 if [ "${1:-}" = "--tidy-smoke" ]; then
   mode=smoke
   shift
+elif [ "${1:-}" = "--sarif" ]; then
+  sarif_out=${2:?"run_lint: --sarif needs an output path"}
+  shift 2
 fi
 build=${1:-$root/build}
 
@@ -75,8 +83,15 @@ if [ -z "${symlint_bin:-}" ] || [ ! -x "$symlint_bin" ]; then
   exit 2
 fi
 
+# Mirror the `symlint` ctest gate: cross-TU passes over src/, incremental
+# index cache in the build tree, findings filtered through the checked-in
+# baseline. --sarif additionally emits the machine-readable report.
 fail=0
-"$symlint_bin" --root "$root/src" || fail=1
+"$symlint_bin" --root "$root/src" \
+    --cache-dir "$build/symlint-cache" \
+    --baseline "$root/tools/symlint/baseline.json" \
+    ${sarif_out:+--sarif "$sarif_out"} \
+  || fail=1
 
 run_tidy full
 rc=$?

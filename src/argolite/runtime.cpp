@@ -94,6 +94,7 @@ void Runtime::destroy_ult(Ult& ult) {
 }
 
 KeyId Runtime::key_create() {
+  // symlint: allow(shared-state-escape) reason=monotonic atomic key counter; ids are opaque handles and never ordered on, so allocation order cannot leak into results
   static std::atomic<KeyId> next{0};
   return next++;
 }

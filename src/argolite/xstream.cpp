@@ -10,7 +10,9 @@
 namespace sym::abt {
 namespace {
 
+// symlint: allow(shared-state-escape) reason=per-OS-thread scheduler cursor; written only by the owning worker thread, never shared across workers
 thread_local Xstream* g_current_xstream = nullptr;
+// symlint: allow(shared-state-escape) reason=per-OS-thread ULT cursor; same single-writer discipline as g_current_xstream
 thread_local Ult* g_current_ult = nullptr;
 
 }  // namespace

@@ -33,8 +33,10 @@ ViolationHandler& handler_slot() {
   return handler;
 }
 
+// symlint: allow(shared-state-escape) reason=atomic diagnostics counter read only by tests after the run; never feeds simulation state
 std::atomic<std::uint64_t> g_violations{0};
 
+// symlint: allow(shared-state-escape) reason=thread_local shadow of the lane a worker is executing; set by ActiveLaneScope on the owning thread only
 thread_local std::uint32_t t_current_lane = kNoLane;
 
 }  // namespace

@@ -24,6 +24,7 @@ struct ActiveLaneTls {
   Lane* lane = nullptr;
 };
 
+// symlint: allow(shared-state-escape) reason=thread_local active-lane cursor; each worker reads and writes only its own copy inside ActiveLaneScope
 thread_local ActiveLaneTls t_active;
 
 }  // namespace

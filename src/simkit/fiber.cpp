@@ -44,6 +44,7 @@
 namespace sym::sim {
 namespace {
 
+// symlint: allow(shared-state-escape) reason=thread_local current-fiber cursor; lanes are pinned to one worker so a fiber never observes another thread's cursor
 thread_local Fiber* g_current_fiber = nullptr;
 
 inline void asan_start_switch(void** fake_stack_save, const void* bottom,
@@ -119,6 +120,7 @@ StackPool& StackPool::instance() {
   // a lane's fibers always acquire and release on the same pool with no
   // synchronization. Single-threaded runs see exactly the old process-wide
   // behavior.
+  // symlint: allow(shared-state-escape) reason=per-thread stack pool; lane pinning guarantees acquire and release happen on the same thread (see comment above)
   static thread_local StackPool pool;
   return pool;
 }

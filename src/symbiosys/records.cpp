@@ -65,6 +65,7 @@ std::string NameRegistry::format(Breadcrumb bc) const {
 }
 
 NameRegistry& NameRegistry::global() {
+  // symlint: allow(shared-state-escape) reason=process-wide name interner; internally synchronized by its own mutex and stores names only, no timing state
   static NameRegistry reg;
   return reg;
 }

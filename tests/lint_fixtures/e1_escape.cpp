@@ -1,0 +1,19 @@
+// Fixture: a mutable thread_local escaping into worker-executed code with
+// no lane-ownership bind and no allow(shared-state-escape) annotation. The
+// test feeds this under a virtual simkit/fiber path so its functions count
+// as worker roots and the finding carries a concrete worker-path witness.
+#include "simkit/fiber.hpp"
+
+namespace sym::sim {
+
+thread_local int t_scratch_depth = 0;
+
+void worker_entry() {
+  t_scratch_depth += 1;
+}
+
+int scratch_depth_here() {
+  return t_scratch_depth;
+}
+
+}  // namespace sym::sim

@@ -1,0 +1,12 @@
+// Fixture: first half of a three-mutex lock-order cycle spanning two TUs.
+// This TU takes g_a before g_b; l1_lock_cycle_b.cpp closes the loop with
+// g_b -> g_c and g_c -> g_a. Never compiled — lexed by tests/test_symlint.cpp.
+#include "argolite/sync.hpp"
+
+sym::abt::Mutex g_a;
+sym::abt::Mutex g_b;
+
+void take_ab() {
+  sym::abt::LockGuard first(g_a);
+  sym::abt::LockGuard second(g_b);
+}

@@ -1,0 +1,19 @@
+// Fixture: second half of the three-mutex lock-order cycle (see
+// l1_lock_cycle_a.cpp). Defines g_c and closes g_b -> g_c -> g_a; the
+// namespace-scope mutexes merge project-wide by name, which is exactly the
+// cross-TU aliasing L1 must see through.
+#include "argolite/sync.hpp"
+
+extern sym::abt::Mutex g_a;
+extern sym::abt::Mutex g_b;
+sym::abt::Mutex g_c;
+
+void take_bc() {
+  sym::abt::LockGuard first(g_b);
+  sym::abt::LockGuard second(g_c);
+}
+
+void take_ca() {
+  sym::abt::LockGuard first(g_c);
+  sym::abt::LockGuard second(g_a);
+}

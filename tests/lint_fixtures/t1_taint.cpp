@@ -1,0 +1,19 @@
+// Fixture: a wall-clock value laundered through one call level and a local
+// variable into an Engine::after timestamp. The allow(nondeterminism) on
+// the source silences D1 but must NOT stop taint propagation — catching
+// exactly this flow is what T1 exists for.
+#include "simkit/engine.hpp"
+
+namespace sym {
+
+long skew_sample() {
+  // symlint: allow(nondeterminism) reason=fixture plants a tainted source on purpose
+  return static_cast<long>(time(nullptr));
+}
+
+void schedule_with_skew(sim::Engine& eng) {
+  auto delay = skew_sample();
+  eng.after(delay, [] {});
+}
+
+}  // namespace sym

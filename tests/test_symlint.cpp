@@ -7,13 +7,17 @@
 // in trailing comments; editing a fixture means updating both.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "emit.hpp"
+#include "index.hpp"
 #include "lint.hpp"
+#include "rules.hpp"
 
 namespace {
 
@@ -137,6 +141,321 @@ TEST(Symlint, FindingFormatIsStable) {
   EXPECT_NE(line.find("src/margolite/fixture_d1.cpp:19: [D1/nondeterminism]"),
             std::string::npos)
       << line;
+}
+
+// ---------------------------------------------------------------------------
+// Cross-TU rules (pass 1 + 2): L1 / E1 / T1 over planted fixtures
+// ---------------------------------------------------------------------------
+
+/// Index fixtures under virtual paths and run the interprocedural rules.
+std::vector<symlint::Finding> analyze_fixtures(
+    const std::vector<std::pair<std::string, std::string>>& fixtures) {
+  std::vector<symlint::TuIndex> tus;
+  for (const auto& [name, virtual_path] : fixtures) {
+    tus.push_back(symlint::build_tu_index(virtual_path, read_fixture(name)));
+  }
+  return symlint::analyze_project(tus);
+}
+
+TEST(SymlintCrossTu, L1ThreeMutexCycleAcrossTwoTus) {
+  const auto findings =
+      analyze_fixtures({{"l1_lock_cycle_a.cpp", "src/margolite/cycle_a.cpp"},
+                        {"l1_lock_cycle_b.cpp", "src/margolite/cycle_b.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << [&] {
+    std::ostringstream os;
+    for (const auto& f : findings) os << f.format() << "\n";
+    return os.str();
+  }();
+  const auto& f = findings.front();
+  EXPECT_EQ(symlint::rule_id(f.rule), "L1");
+  // The witness starts at the canonical (lexicographically smallest) mutex:
+  // the g_a -> g_b acquisition in take_ab at cycle_a.cpp:11.
+  EXPECT_EQ(f.file, "src/margolite/cycle_a.cpp");
+  EXPECT_EQ(f.line, 11);
+  EXPECT_EQ(f.key, "cycle:g_a->g_b->g_c->g_a");
+  EXPECT_NE(f.message.find("g_a -> g_b at src/margolite/cycle_a.cpp:11"),
+            std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("in take_ab"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("g_c -> g_a at src/margolite/cycle_b.cpp:18"),
+            std::string::npos)
+      << f.message;
+}
+
+TEST(SymlintCrossTu, L1CycleSuppressedByAllowAtAnAcquisitionSite) {
+  // Annotate the acquisition that closes the cycle (g_a taken while g_c is
+  // held, in take_ca): an allow(lock-order) covering any witness edge kills
+  // the report.
+  std::string half_b = read_fixture("l1_lock_cycle_b.cpp");
+  const std::string anchor = "  sym::abt::LockGuard second(g_a);";
+  const auto at = half_b.find(anchor);
+  ASSERT_NE(at, std::string::npos);
+  half_b.insert(at,
+                "  // symlint: allow(lock-order) reason=ca ordering is "
+                "guarded by the window barrier\n");
+  std::vector<symlint::TuIndex> tus;
+  tus.push_back(symlint::build_tu_index(
+      "src/margolite/cycle_a.cpp", read_fixture("l1_lock_cycle_a.cpp")));
+  tus.push_back(symlint::build_tu_index("src/margolite/cycle_b.cpp", half_b));
+  EXPECT_TRUE(symlint::analyze_project(tus).empty());
+}
+
+TEST(SymlintCrossTu, E1EscapedThreadLocalWithWorkerPathWitness) {
+  const auto findings =
+      analyze_fixtures({{"e1_escape.cpp", "src/simkit/fiber.fixture.cpp"}});
+  ASSERT_EQ(findings.size(), 1u);
+  const auto& f = findings.front();
+  EXPECT_EQ(symlint::rule_id(f.rule), "E1");
+  EXPECT_EQ(f.file, "src/simkit/fiber.fixture.cpp");
+  EXPECT_EQ(f.line, 9);  // the thread_local declaration
+  EXPECT_EQ(f.key, "static:src/simkit/fiber.fixture.cpp:t_scratch_depth");
+  EXPECT_NE(f.message.find("thread_local"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("Worker path: worker_entry"), std::string::npos)
+      << f.message;
+}
+
+TEST(SymlintCrossTu, E1SuppressedByLaneBindOrAnnotation) {
+  // A lane-ownership bind in a referencing function claims the state.
+  const std::string bound =
+      "namespace sym::sim {\n"
+      "thread_local int t_depth = 0;\n"
+      "void worker_entry(void* self) {\n"
+      "  sym::sim::debug::bind_home_lane(self, 0);\n"
+      "  t_depth += 1;\n"
+      "}\n"
+      "}\n";
+  std::vector<symlint::TuIndex> tus;
+  tus.push_back(
+      symlint::build_tu_index("src/simkit/fiber.fixture.cpp", bound));
+  EXPECT_TRUE(symlint::analyze_project(tus).empty());
+
+  // An allow(shared-state-escape) on the declaration does the same.
+  const std::string annotated =
+      "namespace sym::sim {\n"
+      "// symlint: allow(shared-state-escape) reason=worker-confined\n"
+      "thread_local int t_depth = 0;\n"
+      "void worker_entry() { t_depth += 1; }\n"
+      "}\n";
+  tus.clear();
+  tus.push_back(
+      symlint::build_tu_index("src/simkit/fiber.fixture.cpp", annotated));
+  EXPECT_TRUE(symlint::analyze_project(tus).empty());
+}
+
+TEST(SymlintCrossTu, T1ClockTaintReachesTimestampThroughCallAndLocal) {
+  const auto findings =
+      analyze_fixtures({{"t1_taint.cpp", "src/margolite/fixture_t1.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << [&] {
+    std::ostringstream os;
+    for (const auto& f : findings) os << f.format() << "\n";
+    return os.str();
+  }();
+  const auto& f = findings.front();
+  EXPECT_EQ(symlint::rule_id(f.rule), "T1");
+  EXPECT_EQ(f.file, "src/margolite/fixture_t1.cpp");
+  EXPECT_EQ(f.line, 16);  // the eng.after(delay, ...) sink
+  EXPECT_EQ(f.key, "taint:src/margolite/fixture_t1.cpp:schedule_with_skew:after");
+  // The allow(nondeterminism) on the source suppressed D1 but not the taint;
+  // the message names the origin primitive and site.
+  EXPECT_NE(f.message.find("'time' at src/margolite/fixture_t1.cpp:11"),
+            std::string::npos)
+      << f.message;
+}
+
+TEST(SymlintCrossTu, T1SuppressedOnlyByDeterminismTaintAllowAtSink) {
+  std::string fixture = read_fixture("t1_taint.cpp");
+  const std::string sink = "  eng.after(delay, [] {});";
+  const auto at = fixture.find(sink);
+  ASSERT_NE(at, std::string::npos);
+  fixture.insert(at,
+                 "  // symlint: allow(determinism-taint) reason=skew is "
+                 "config, frozen before the run\n");
+  std::vector<symlint::TuIndex> tus;
+  tus.push_back(
+      symlint::build_tu_index("src/margolite/fixture_t1.cpp", fixture));
+  EXPECT_TRUE(symlint::analyze_project(tus).empty());
+}
+
+// ---------------------------------------------------------------------------
+// SARIF emission and the baseline
+// ---------------------------------------------------------------------------
+
+TEST(SymlintEmit, SarifIsValidJsonWithStableStructure) {
+  auto findings =
+      analyze_fixtures({{"l1_lock_cycle_a.cpp", "src/margolite/cycle_a.cpp"},
+                        {"l1_lock_cycle_b.cpp", "src/margolite/cycle_b.cpp"},
+                        {"e1_escape.cpp", "src/simkit/fiber.fixture.cpp"},
+                        {"t1_taint.cpp", "src/margolite/fixture_t1.cpp"}});
+  ASSERT_EQ(findings.size(), 3u);
+  const std::string sarif = symlint::to_sarif(findings);
+
+  symlint::json::Value doc;
+  std::string err;
+  ASSERT_TRUE(symlint::json::parse(sarif, doc, err)) << err;
+  ASSERT_EQ(doc.kind, symlint::json::Value::kObject);
+  ASSERT_NE(doc.find("version"), nullptr);
+  EXPECT_EQ(doc.find("version")->str, "2.1.0");
+
+  const auto* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->arr.size(), 1u);
+  const auto& run = runs->arr.front();
+  const auto* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->str, "symlint");
+  EXPECT_EQ(driver->find("rules")->arr.size(), 8u);  // A0, D1-D4, L1, E1, T1
+
+  const auto* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->arr.size(), findings.size());
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const auto& r = results->arr[i];
+    EXPECT_EQ(r.find("ruleId")->str, symlint::rule_id(findings[i].rule));
+    const auto& loc = r.find("locations")->arr.front();
+    const auto* phys = loc.find("physicalLocation");
+    EXPECT_EQ(phys->find("artifactLocation")->find("uri")->str,
+              findings[i].file);
+    EXPECT_EQ(static_cast<int>(phys->find("region")->find("startLine")->number),
+              findings[i].line);
+    EXPECT_EQ(r.find("partialFingerprints")->find("symlintKey")->str,
+              findings[i].key);
+  }
+}
+
+TEST(SymlintEmit, BaselineSuppressesByKeyAndReportsStaleEntries) {
+  auto findings =
+      analyze_fixtures({{"e1_escape.cpp", "src/simkit/fiber.fixture.cpp"},
+                        {"t1_taint.cpp", "src/margolite/fixture_t1.cpp"}});
+  ASSERT_EQ(findings.size(), 2u);
+
+  const std::string text = R"({
+    "findings": [
+      {"rule": "E1", "file": "src/simkit/fiber.fixture.cpp",
+       "key": "static:src/simkit/fiber.fixture.cpp:t_scratch_depth",
+       "reason": "fixture"},
+      {"rule": "L1", "file": "src/nowhere.cpp", "key": "cycle:x->y->x",
+       "reason": "stale"}
+    ]
+  })";
+  symlint::Baseline baseline;
+  std::string err;
+  ASSERT_TRUE(symlint::load_baseline(text, baseline, err)) << err;
+
+  std::vector<const symlint::BaselineEntry*> unused;
+  const auto suppressed =
+      symlint::apply_baseline(baseline, findings, &unused);
+  EXPECT_EQ(suppressed, 1u);
+  ASSERT_EQ(findings.size(), 1u);  // the T1 survives
+  EXPECT_EQ(symlint::rule_id(findings.front().rule), "T1");
+  ASSERT_EQ(unused.size(), 1u);  // the stale L1 entry is reported
+  EXPECT_EQ(unused.front()->rule, "L1");
+}
+
+TEST(SymlintEmit, MalformedBaselineIsAnError) {
+  symlint::Baseline baseline;
+  std::string err;
+  EXPECT_FALSE(symlint::load_baseline("{\"findings\": [{}]}", baseline, err));
+  EXPECT_FALSE(symlint::load_baseline("not json", baseline, err));
+  EXPECT_FALSE(symlint::load_baseline("[]", baseline, err));
+}
+
+// ---------------------------------------------------------------------------
+// Incremental index cache
+// ---------------------------------------------------------------------------
+
+void write_file(const std::filesystem::path& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << text;
+}
+
+TEST(SymlintIndex, TouchingAHeaderReindexesOnlyItsDependents) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::current_path() / "symlint_cache_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "tree");
+  write_file(dir / "tree/a.hpp", "int shared_helper();\n");
+  write_file(dir / "tree/b.cpp",
+             "#include \"a.hpp\"\nint use() { return shared_helper(); }\n");
+  write_file(dir / "tree/c.cpp", "int lonely() { return 3; }\n");
+
+  symlint::IndexOptions opt;
+  opt.cache_dir = (dir / "cache").string();
+  opt.jobs = 2;
+  opt.roots = {(dir / "tree").string()};
+  const std::vector<std::string> files = {(dir / "tree/a.hpp").string(),
+                                          (dir / "tree/b.cpp").string(),
+                                          (dir / "tree/c.cpp").string()};
+
+  symlint::IndexStats stats;
+  (void)symlint::run_index(files, opt, &stats);
+  EXPECT_EQ(stats.files, 3u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+
+  (void)symlint::run_index(files, opt, &stats);
+  EXPECT_EQ(stats.cache_hits, 3u);
+  EXPECT_EQ(stats.reindexed, 0u);
+
+  // Touch the header: itself and its includer re-index; c.cpp stays cached.
+  write_file(dir / "tree/a.hpp", "int shared_helper();\nint another();\n");
+  const auto tus = symlint::run_index(files, opt, &stats);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  EXPECT_EQ(stats.reindexed, 2u);
+  ASSERT_EQ(tus.size(), 3u);
+  EXPECT_FALSE(tus[0].from_cache);  // a.hpp
+  EXPECT_FALSE(tus[1].from_cache);  // b.cpp (transitive dependent)
+  EXPECT_TRUE(tus[2].from_cache);   // c.cpp
+
+  fs::remove_all(dir);
+}
+
+TEST(SymlintIndex, WarmCacheRunIsAtLeastFiveTimesFasterThanCold) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::current_path() / "symlint_cache_bench";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "tree");
+
+  // Token-heavy bodies make the cold path (lex + scan + per-TU lint) pay;
+  // the cached entries stay tiny, so the warm path is a cheap parse.
+  std::ostringstream body;
+  body << "int heavy() {\n  int a = 0;\n";
+  for (int i = 0; i < 1500; ++i) body << "  a = a + " << "a * a - a;\n";
+  body << "  return a;\n}\n";
+  std::vector<std::string> files;
+  for (int i = 0; i < 24; ++i) {
+    const fs::path p = dir / "tree" / ("f" + std::to_string(i) + ".cpp");
+    write_file(p, body.str());
+    files.push_back(p.string());
+  }
+
+  symlint::IndexOptions opt;
+  opt.cache_dir = (dir / "cache").string();
+  opt.jobs = 1;  // single-threaded: measure work, not scheduling
+  symlint::IndexStats stats;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)symlint::run_index(files, opt, &stats);
+  const auto t1 = std::chrono::steady_clock::now();
+  ASSERT_EQ(stats.reindexed, files.size());
+
+  // Best of two warm runs, to shield the ratio from scheduler noise.
+  auto warm = std::chrono::steady_clock::duration::max();
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto w0 = std::chrono::steady_clock::now();
+    (void)symlint::run_index(files, opt, &stats);
+    const auto w1 = std::chrono::steady_clock::now();
+    ASSERT_EQ(stats.cache_hits, files.size());
+    warm = std::min(warm, w1 - w0);
+  }
+  const auto cold = t1 - t0;
+  EXPECT_GE(cold.count(), 5 * warm.count())
+      << "cold=" << std::chrono::duration_cast<std::chrono::microseconds>(cold)
+                        .count()
+      << "us warm="
+      << std::chrono::duration_cast<std::chrono::microseconds>(warm).count()
+      << "us";
+
+  fs::remove_all(dir);
 }
 
 // The repository itself must stay clean: this is the same gate the `symlint`

@@ -1,0 +1,477 @@
+#include "emit.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace symlint::json {
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string& err) : s_(text), err_(err) {}
+
+  bool parse(Value& out) {
+    skip_ws();
+    if (!parse_value(out)) return false;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing data after document");
+    return true;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    std::ostringstream os;
+    os << "offset " << pos_ << ": " << why;
+    err_ = os.str();
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool eat(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(Value& out) {
+    if (pos_ >= s_.size()) return fail("unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return parse_object(out);
+    if (c == '[') return parse_array(out);
+    if (c == '"') {
+      out.kind = Value::kString;
+      return parse_string(out.str);
+    }
+    if (c == 't' || c == 'f') return parse_bool(out);
+    if (c == 'n') return parse_null(out);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return parse_number(out);
+    }
+    return fail("unexpected character");
+  }
+
+  bool parse_object(Value& out) {
+    out.kind = Value::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string k;
+      if (pos_ >= s_.size() || s_[pos_] != '"') return fail("expected key");
+      if (!parse_string(k)) return false;
+      skip_ws();
+      if (!eat(':')) return fail("expected ':'");
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.obj.emplace(std::move(k), std::move(v));
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Value& out) {
+    out.kind = Value::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    for (;;) {
+      skip_ws();
+      Value v;
+      if (!parse_value(v)) return false;
+      out.arr.push_back(std::move(v));
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("dangling escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return fail("short \\u escape");
+            unsigned cp = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = s_[pos_++];
+              cp <<= 4;
+              if (h >= '0' && h <= '9') cp |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') cp |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') cp |= static_cast<unsigned>(h - 'A' + 10);
+              else return fail("bad \\u escape");
+            }
+            // BMP code point -> UTF-8 (surrogate pairs unsupported; the
+            // baseline and SARIF payloads are ASCII).
+            if (cp < 0x80) {
+              out += static_cast<char>(cp);
+            } else if (cp < 0x800) {
+              out += static_cast<char>(0xC0 | (cp >> 6));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (cp >> 12));
+              out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (cp & 0x3F));
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      out += c;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_bool(Value& out) {
+    out.kind = Value::kBool;
+    if (s_.substr(pos_, 4) == "true") {
+      out.boolean = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.substr(pos_, 5) == "false") {
+      out.boolean = false;
+      pos_ += 5;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_null(Value& out) {
+    out.kind = Value::kNull;
+    if (s_.substr(pos_, 4) == "null") {
+      pos_ += 4;
+      return true;
+    }
+    return fail("bad literal");
+  }
+
+  bool parse_number(Value& out) {
+    out.kind = Value::kNumber;
+    const std::size_t start = pos_;
+    if (eat('-')) {
+    }
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+    if (eat('.')) {
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ == start) return fail("bad number");
+    // Hand-rolled to keep the tool locale-independent.
+    const std::string_view text = s_.substr(start, pos_ - start);
+    double value = 0.0;
+    double sign = 1.0;
+    std::size_t i = 0;
+    if (i < text.size() && text[i] == '-') {
+      sign = -1.0;
+      ++i;
+    }
+    for (; i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+         ++i) {
+      value = value * 10.0 + (text[i] - '0');
+    }
+    if (i < text.size() && text[i] == '.') {
+      ++i;
+      double scale = 0.1;
+      for (; i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+           ++i) {
+        value += (text[i] - '0') * scale;
+        scale *= 0.1;
+      }
+    }
+    if (i < text.size() && (text[i] == 'e' || text[i] == 'E')) {
+      ++i;
+      double esign = 1.0;
+      if (i < text.size() && (text[i] == '+' || text[i] == '-')) {
+        if (text[i] == '-') esign = -1.0;
+        ++i;
+      }
+      int exp = 0;
+      for (; i < text.size() &&
+             std::isdigit(static_cast<unsigned char>(text[i])) != 0;
+           ++i) {
+        exp = exp * 10 + (text[i] - '0');
+      }
+      for (int k = 0; k < exp; ++k) value *= esign > 0 ? 10.0 : 0.1;
+    }
+    out.number = sign * value;
+    return true;
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+  std::string& err_;
+};
+
+}  // namespace
+
+bool parse(std::string_view text, Value& out, std::string& err) {
+  return Parser(text, err).parse(out);
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace symlint::json
+
+namespace symlint {
+namespace {
+
+std::string get_string(const json::Value& obj, const std::string& key) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->kind == json::Value::kString ? v->str
+                                                         : std::string{};
+}
+
+/// Normalized repo-relative suffix used for file matching and SARIF URIs.
+std::string rel_of(const std::string& file) {
+  std::string norm = file;
+  for (auto& c : norm) {
+    if (c == '\\') c = '/';
+  }
+  for (const std::string_view prefix : {"src/", "tools/", "tests/"}) {
+    std::size_t pos = 0;
+    while ((pos = norm.find(prefix, pos)) != std::string::npos) {
+      if (pos == 0 || norm[pos - 1] == '/') return norm.substr(pos);
+      ++pos;
+    }
+  }
+  return norm;
+}
+
+struct RuleMeta {
+  Rule rule;
+  std::string_view full_description;
+};
+
+const RuleMeta kRuleCatalog[] = {
+    {Rule::kAnnotation, "Malformed symlint allow() annotation."},
+    {Rule::kNondeterminism,
+     "Wall-clock, libc randomness, or environment read outside the "
+     "sanctioned simkit wrappers."},
+    {Rule::kUnorderedIter,
+     "Range-for over an unordered container in analysis/export code."},
+    {Rule::kFiberBlocking,
+     "OS-blocking primitive in fiber-executed code; use argolite sync."},
+    {Rule::kLaneAffinity,
+     "Direct Lane internal access outside the engine substrate."},
+    {Rule::kLockOrder,
+     "Cycle in the project-wide mutex acquisition graph (potential "
+     "deadlock)."},
+    {Rule::kSharedEscape,
+     "Mutable global or static state escapes into worker-executed code "
+     "without a lane-ownership bind."},
+    {Rule::kTaint,
+     "Clock/rng-derived value flows through calls into a virtual-time "
+     "event timestamp."},
+};
+
+}  // namespace
+
+bool load_baseline(std::string_view text, Baseline& out, std::string& err) {
+  json::Value doc;
+  if (!json::parse(text, doc, err)) {
+    err = "baseline: " + err;
+    return false;
+  }
+  if (doc.kind != json::Value::kObject) {
+    err = "baseline: top level must be an object";
+    return false;
+  }
+  const json::Value* findings = doc.find("findings");
+  if (findings == nullptr || findings->kind != json::Value::kArray) {
+    err = "baseline: missing \"findings\" array";
+    return false;
+  }
+  for (const auto& e : findings->arr) {
+    if (e.kind != json::Value::kObject) {
+      err = "baseline: findings entries must be objects";
+      return false;
+    }
+    BaselineEntry entry;
+    entry.rule = get_string(e, "rule");
+    entry.file = get_string(e, "file");
+    entry.key = get_string(e, "key");
+    entry.reason = get_string(e, "reason");
+    if (entry.rule.empty() || entry.file.empty() || entry.key.empty()) {
+      err = "baseline: entries need non-empty rule, file and key";
+      return false;
+    }
+    out.entries.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool baseline_matches(const BaselineEntry& entry, const Finding& finding) {
+  if (entry.rule != rule_id(finding.rule)) return false;
+  const std::string rel = rel_of(finding.file);
+  if (rel != entry.file) {
+    // Accept an exact-suffix match so absolute invocations still hit.
+    if (rel.size() <= entry.file.size() ||
+        rel.compare(rel.size() - entry.file.size(), std::string::npos,
+                    entry.file) != 0 ||
+        rel[rel.size() - entry.file.size() - 1] != '/') {
+      return false;
+    }
+  }
+  const std::string& key =
+      finding.key.empty() ? finding.message : finding.key;
+  return key == entry.key;
+}
+
+std::size_t apply_baseline(const Baseline& baseline,
+                           std::vector<Finding>& findings,
+                           std::vector<const BaselineEntry*>* unused) {
+  std::vector<bool> used(baseline.entries.size(), false);
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  std::size_t suppressed = 0;
+  for (auto& f : findings) {
+    bool hit = false;
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      if (baseline_matches(baseline.entries[i], f)) {
+        used[i] = true;
+        hit = true;
+        break;
+      }
+    }
+    if (hit) {
+      ++suppressed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  findings = std::move(kept);
+  if (unused != nullptr) {
+    for (std::size_t i = 0; i < baseline.entries.size(); ++i) {
+      if (!used[i]) unused->push_back(&baseline.entries[i]);
+    }
+  }
+  return suppressed;
+}
+
+std::string to_sarif(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"symlint\",\n"
+     << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
+     << "          \"version\": \"2.0.0\",\n"
+     << "          \"rules\": [\n";
+  bool first = true;
+  for (const auto& meta : kRuleCatalog) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "            {\n"
+       << "              \"id\": \"" << rule_id(meta.rule) << "\",\n"
+       << "              \"name\": \"" << rule_name(meta.rule) << "\",\n"
+       << "              \"shortDescription\": {\"text\": \""
+       << json::escape(meta.full_description) << "\"}\n"
+       << "            }";
+  }
+  os << "\n          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  first = true;
+  for (const auto& f : findings) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "        {\n"
+       << "          \"ruleId\": \"" << rule_id(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json::escape(f.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\n"
+       << "              \"physicalLocation\": {\n"
+       << "                \"artifactLocation\": {\"uri\": \""
+       << json::escape(rel_of(f.file)) << "\"},\n"
+       << "                \"region\": {\"startLine\": "
+       << (f.line > 0 ? f.line : 1) << "}\n"
+       << "              }\n"
+       << "            }\n"
+       << "          ]";
+    if (!f.key.empty()) {
+      os << ",\n          \"partialFingerprints\": {\"symlintKey\": \""
+         << json::escape(f.key) << "\"}";
+    }
+    os << "\n        }";
+  }
+  os << "\n      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+  return os.str();
+}
+
+}  // namespace symlint

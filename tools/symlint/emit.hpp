@@ -1,0 +1,82 @@
+// tools/symlint/emit.hpp
+//
+// Output side of symlint v2: SARIF 2.1.0 emission and the checked-in
+// findings baseline, plus the minimal dependency-free JSON layer both need
+// (the container bakes in no JSON library, and symlint must build on a bare
+// toolchain).
+//
+// Baseline entries identify a finding by (rule id, repo-relative file
+// suffix, semantic key) — never by line number, so ordinary edits above a
+// baselined site do not churn the baseline. Cross-TU findings carry semantic
+// keys ("cycle:a->b->a", "static:src/x.cpp:name", "taint:..."); per-TU
+// findings use their message text as the key.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace symlint::json {
+
+/// Tiny JSON document model: enough for baseline.json and for the tests to
+/// verify the SARIF output round-trips.
+struct Value {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> arr;
+  std::map<std::string, Value> obj;
+
+  [[nodiscard]] const Value* find(const std::string& k) const {
+    const auto it = obj.find(k);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+};
+
+/// Strict recursive-descent parse; on failure returns false and sets `err`
+/// to "offset N: reason".
+bool parse(std::string_view text, Value& out, std::string& err);
+
+/// JSON string escaping for the emitters.
+[[nodiscard]] std::string escape(std::string_view s);
+
+}  // namespace symlint::json
+
+namespace symlint {
+
+struct BaselineEntry {
+  std::string rule;  ///< rule id ("L1")
+  std::string file;  ///< repo-relative path suffix
+  std::string key;   ///< semantic key, or message text for per-TU rules
+  std::string reason;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+};
+
+/// Parse tools/symlint/baseline.json text. Returns false with a message on
+/// malformed input (a broken baseline must fail the gate, not pass it).
+bool load_baseline(std::string_view text, Baseline& out, std::string& err);
+
+/// Remove baselined findings from `findings` (in place). Returns the number
+/// suppressed; `unused` collects baseline entries that matched nothing (the
+/// gate reports them so the baseline cannot rot).
+std::size_t apply_baseline(const Baseline& baseline,
+                           std::vector<Finding>& findings,
+                           std::vector<const BaselineEntry*>* unused);
+
+/// Does `finding` match `entry` under the (rule, file-suffix, key) scheme?
+[[nodiscard]] bool baseline_matches(const BaselineEntry& entry,
+                                    const Finding& finding);
+
+/// Render findings as a SARIF 2.1.0 log (one run, one driver). The output
+/// is deterministic: findings must already be sorted.
+[[nodiscard]] std::string to_sarif(const std::vector<Finding>& findings);
+
+}  // namespace symlint

@@ -1,0 +1,1091 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "lexer.hpp"
+#include "tables.hpp"
+
+namespace symlint {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Bump on any change to what the indexer extracts: entries are validated by
+// content hash, so a format/semantic change must invalidate old entries.
+constexpr std::string_view kCacheMagic = "symlint-tui v5";
+
+std::string normalize(std::string_view path) {
+  std::string norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  return norm;
+}
+
+// Declaration modifiers that may precede the type in a variable declaration.
+const std::set<std::string_view> kDeclModifiers = {
+    "static", "thread_local", "inline", "mutable", "volatile",
+    "unsigned", "signed", "long", "short",
+};
+
+// A statement containing one of these is not a variable declaration we
+// track (type definitions, aliases, immutable data, templates, ...).
+const std::set<std::string_view> kDeclSkip = {
+    "const",    "constexpr", "constinit", "using",    "typedef",
+    "extern",   "friend",    "enum",      "class",    "struct",
+    "union",    "template",  "namespace", "operator", "requires",
+    "static_assert", "return", "if", "for", "while", "switch", "do",
+    "case",     "default",   "goto",      "delete",   "new",
+    "public",   "private",   "protected", "throw",
+};
+
+// Specifier tokens that may sit between a function's ")" and its body "{".
+const std::set<std::string_view> kFnTrailing = {
+    "const", "noexcept", "override", "final", "mutable", "try", "volatile",
+};
+
+// ---------------------------------------------------------------------------
+// IndexScanner: one forward pass with a context stack
+// ---------------------------------------------------------------------------
+
+class IndexScanner {
+ public:
+  IndexScanner(const Lexed& lx, TuIndex& tu) : t_(lx.tokens), tu_(tu) {}
+
+  void run() {
+    for (i_ = 0; i_ < t_.size(); ++i_) {
+      const Token& tok = t_[i_];
+      if (tok.kind == Token::kPunct) {
+        if (tok.text == "{") {
+          open_brace();
+        } else if (tok.text == "}") {
+          close_brace();
+        } else if (tok.text == ";") {
+          analyze_statement(stmt_begin_, i_, /*brace_terminated=*/false);
+          stmt_begin_ = i_ + 1;
+        }
+        continue;
+      }
+      if (in_function()) scan_body_token();
+    }
+    // Unbalanced braces (preprocessor-split bodies): close what is open so
+    // a half-built function is still recorded.
+    while (!ctx_.empty()) pop_ctx();
+    finalize_refs();
+  }
+
+ private:
+  struct Ctx {
+    enum Kind { kNamespace, kClass, kFunction, kBlock } kind;
+    std::string name;
+    bool reset_stmt = true;  ///< false for ctor-init-list braces
+  };
+
+  bool in_function() const { return fn_depth_ > 0; }
+
+  const Token* at(std::size_t i) const {
+    return i < t_.size() ? &t_[i] : nullptr;
+  }
+
+  std::string innermost_class() const {
+    for (auto it = ctx_.rbegin(); it != ctx_.rend(); ++it) {
+      if (it->kind == Ctx::kClass) return it->name;
+    }
+    return {};
+  }
+
+  Ctx::Kind innermost_scope_kind() const {
+    if (ctx_.empty()) return Ctx::kNamespace;  // top level
+    return ctx_.back().kind;
+  }
+
+  /// Scope kind that governs declaration statements: the innermost
+  /// namespace/class/function, looking through plain blocks.
+  Ctx::Kind decl_scope() const {
+    if (in_function()) return Ctx::kFunction;
+    for (auto it = ctx_.rbegin(); it != ctx_.rend(); ++it) {
+      if (it->kind != Ctx::kBlock) return it->kind;
+    }
+    return Ctx::kNamespace;
+  }
+
+  // --- brace classification ------------------------------------------------
+
+  void open_brace() {
+    Ctx ctx = classify_brace();
+    if (ctx.kind == Ctx::kFunction && !in_function()) {
+      cur_ = FunctionInfo{};
+      cur_.name = ctx.name;
+      cur_.line = t_[i_].line;
+      if (const auto pos = ctx.name.rfind("::"); pos != std::string::npos) {
+        cur_.cls = ctx.name.substr(0, pos);
+      } else {
+        cur_.cls = innermost_class();
+        if (!cur_.cls.empty()) cur_.name = cur_.cls + "::" + cur_.name;
+      }
+      cur_idents_.clear();
+      fn_depth_ = 1;
+    } else if (in_function()) {
+      ++fn_depth_;
+      if (ctx.kind == Ctx::kFunction) ctx.kind = Ctx::kBlock;  // lambda etc.
+    }
+    if (ctx.reset_stmt) {
+      // A '{'-terminated statement can still declare (brace-init).
+      analyze_statement(stmt_begin_, i_, /*brace_terminated=*/true);
+      stmt_begin_ = i_ + 1;
+    }
+    ctx_.push_back(ctx);
+  }
+
+  void close_brace() {
+    if (!ctx_.empty()) pop_ctx();
+    stmt_begin_ = i_ + 1;
+  }
+
+  void pop_ctx() {
+    const Ctx ctx = ctx_.back();
+    ctx_.pop_back();
+    if (in_function()) {
+      --fn_depth_;
+      // Guards acquired in the closed block are released.
+      const auto depth = static_cast<int>(ctx_.size());
+      held_.erase(std::remove_if(held_.begin(), held_.end(),
+                                 [&](const Held& h) {
+                                   return h.depth > depth && h.depth >= 0;
+                                 }),
+                  held_.end());
+      if (fn_depth_ == 0) {
+        held_.clear();
+        tu_.functions.push_back(std::move(cur_));
+        fn_ident_lines_.push_back(std::move(cur_idents_));
+        cur_idents_.clear();
+      }
+    }
+  }
+
+  /// Decide what the '{' at i_ opens, from the statement tokens before it.
+  Ctx classify_brace() {
+    const std::size_t b = stmt_begin_;
+    const std::size_t e = i_;
+    if (b >= e) return {Ctx::kBlock, {}, true};
+
+    bool saw_namespace = false, saw_type_kw = false, saw_eq = false;
+    bool saw_operator = false;
+    int paren = 0;
+    for (std::size_t k = b; k < e; ++k) {
+      if (t_[k].kind != Token::kIdent) {
+        if (t_[k].text == "(") ++paren;
+        else if (t_[k].text == ")") --paren;
+        // A depth-0 assignment means "not a function definition" — but only
+        // a real "=": the lexer splits "==" / "<=" / ... into single-char
+        // puncts, and default arguments live at paren depth >= 1.
+        if (t_[k].text == "=" && !saw_operator && paren == 0) {
+          const bool prev_op =
+              k > b && t_[k - 1].kind == Token::kPunct &&
+              t_[k - 1].text != ")" && t_[k - 1].text != "]" &&
+              t_[k - 1].text != "::";
+          const bool next_eq = k + 1 < e && t_[k + 1].text == "=";
+          if (!prev_op && !next_eq) saw_eq = true;
+        }
+        continue;
+      }
+      if (t_[k].text == "namespace") saw_namespace = true;
+      if (t_[k].text == "class" || t_[k].text == "struct" ||
+          t_[k].text == "union" || t_[k].text == "enum") {
+        saw_type_kw = true;
+      }
+      if (t_[k].text == "operator") saw_operator = true;
+    }
+    if (saw_namespace) {
+      std::string name;
+      for (std::size_t k = e; k-- > b;) {
+        if (t_[k].kind == Token::kIdent && t_[k].text != "namespace") {
+          name = std::string(t_[k].text);
+          break;
+        }
+      }
+      return {Ctx::kNamespace, std::move(name), true};
+    }
+    if (saw_type_kw) {
+      // Name = identifier after the last class/struct/union/enum keyword
+      // (skipping "final" and base lists).
+      std::string name;
+      for (std::size_t k = b; k < e; ++k) {
+        if (t_[k].kind == Token::kIdent &&
+            (t_[k].text == "class" || t_[k].text == "struct" ||
+             t_[k].text == "union" || t_[k].text == "enum")) {
+          for (std::size_t m = k + 1; m < e; ++m) {
+            if (t_[m].kind == Token::kIdent && t_[m].text != "final" &&
+                t_[m].text != "alignas" && t_[m].text != "class") {
+              name = std::string(t_[m].text);
+              break;
+            }
+            if (t_[m].kind == Token::kPunct && t_[m].text == ":") break;
+          }
+        }
+      }
+      return {Ctx::kClass, std::move(name), true};
+    }
+    if (saw_eq && !saw_operator) return {Ctx::kBlock, {}, true};
+
+    // Function definition: first depth-0 "(" preceded by a plausible name.
+    int depth = 0;
+    std::size_t open = 0, name_idx = 0;
+    for (std::size_t k = b; k < e; ++k) {
+      if (t_[k].kind != Token::kPunct) continue;
+      if (t_[k].text == "(") {
+        if (depth == 0 && open == 0 && k > b &&
+            t_[k - 1].kind == Token::kIdent &&
+            tables::kNonCalleeKeywords.count(t_[k - 1].text) == 0 &&
+            tables::kGuardTypes.count(t_[k - 1].text) == 0) {
+          open = k;
+          name_idx = k - 1;
+        }
+        ++depth;
+      } else if (t_[k].text == ")") {
+        --depth;
+      }
+    }
+    if (open == 0) return {Ctx::kBlock, {}, true};
+
+    // Matching ")" of the parameter list.
+    depth = 0;
+    std::size_t close = 0;
+    for (std::size_t k = open; k < e; ++k) {
+      if (t_[k].kind != Token::kPunct) continue;
+      if (t_[k].text == "(") ++depth;
+      else if (t_[k].text == ")" && --depth == 0) {
+        close = k;
+        break;
+      }
+    }
+    if (close == 0) return {Ctx::kBlock, {}, true};
+
+    // Ctor-init-list brace-init ("Foo::Foo() : a_{1} {"): a depth-0 ":"
+    // after the parameter list while the token before "{" is a plain
+    // identifier means this "{" initializes a member, not the body. Keep
+    // the statement accumulating so the real body brace still sees the
+    // full header.
+    bool colon_after = false;
+    depth = 0;
+    for (std::size_t k = close + 1; k < e; ++k) {
+      if (t_[k].kind != Token::kIdent) {
+        if (t_[k].text == "(") ++depth;
+        else if (t_[k].text == ")") --depth;
+        else if (t_[k].text == ":" && depth == 0) colon_after = true;
+      }
+    }
+    const Token& before = t_[e - 1];
+    if (colon_after && before.kind == Token::kIdent &&
+        kFnTrailing.count(before.text) == 0) {
+      return {Ctx::kBlock, {}, false};
+    }
+
+    // Qualified name walk-back: A::B::name (also ~name).
+    std::string name(t_[name_idx].text);
+    std::size_t k = name_idx;
+    while (k >= 2 && t_[k - 1].kind == Token::kPunct &&
+           t_[k - 1].text == "::" && t_[k - 2].kind == Token::kIdent) {
+      name = std::string(t_[k - 2].text) + "::" + name;
+      k -= 2;
+    }
+    if (k >= 1 && t_[k - 1].kind == Token::kPunct && t_[k - 1].text == "~") {
+      name = "~" + name;
+    }
+    return {Ctx::kFunction, std::move(name), true};
+  }
+
+  // --- statements ----------------------------------------------------------
+
+  /// Analyze the statement tokens [b, e). `brace_terminated` statements end
+  /// at a "{" (brace-init declarations).
+  void analyze_statement(std::size_t b, std::size_t e, bool brace_terminated) {
+    // Strip leading access specifiers ("public :").
+    while (b + 1 < e && t_[b].kind == Token::kIdent &&
+           (t_[b].text == "public" || t_[b].text == "private" ||
+            t_[b].text == "protected") &&
+           t_[b + 1].text == ":") {
+      b += 2;
+    }
+    if (b >= e) return;
+
+    if (in_function()) {
+      analyze_guard(b, e);
+      if (!brace_terminated) analyze_taint_assign(b, e);
+    }
+    analyze_decl(b, e);
+  }
+
+  /// RAII guard acquisition: "LockGuard g(mu_)" / "std::lock_guard<...> l(m)".
+  void analyze_guard(std::size_t b, std::size_t e) {
+    for (std::size_t k = b; k < e; ++k) {
+      if (t_[k].kind != Token::kIdent ||
+          tables::kGuardTypes.count(t_[k].text) == 0) {
+        continue;
+      }
+      // Skip template arguments, then the guard variable name, then "(".
+      std::size_t m = k + 1;
+      if (m < e && t_[m].text == "<") {
+        int ang = 0;
+        for (; m < e; ++m) {
+          if (t_[m].text == "<") ++ang;
+          else if (t_[m].text == ">" && --ang == 0) {
+            ++m;
+            break;
+          }
+        }
+      }
+      if (m < e && t_[m].kind == Token::kIdent) ++m;  // guard variable
+      if (m >= e || t_[m].text != "(") continue;
+      // Mutex token: last identifier of the first constructor argument.
+      int depth = 0;
+      std::string mutex_tok;
+      for (std::size_t a = m; a < e; ++a) {
+        if (t_[a].text == "(") {
+          ++depth;
+        } else if (t_[a].text == ")") {
+          if (--depth == 0) break;
+        } else if (t_[a].text == "," && depth == 1) {
+          break;
+        } else if (t_[a].kind == Token::kIdent) {
+          mutex_tok = std::string(t_[a].text);
+        }
+      }
+      if (mutex_tok.empty()) continue;
+      record_acquire(mutex_tok, t_[k].line,
+                     /*depth=*/static_cast<int>(ctx_.size()));
+      return;
+    }
+  }
+
+  /// "var = <rhs with calls or primitives>" — local taint propagation.
+  void analyze_taint_assign(std::size_t b, std::size_t e) {
+    // Find a plain "=" at paren depth 0 (not ==, <=, +=, ...).
+    int depth = 0;
+    std::size_t eq = 0;
+    for (std::size_t k = b; k < e; ++k) {
+      if (t_[k].text == "(") ++depth;
+      else if (t_[k].text == ")") --depth;
+      else if (t_[k].text == "=" && depth == 0) {
+        const bool prev_op =
+            k > b && t_[k - 1].kind == Token::kPunct &&
+            t_[k - 1].text != ")" && t_[k - 1].text != "]" &&
+            t_[k - 1].text != "::";
+        const bool next_eq = k + 1 < e && t_[k + 1].text == "=";
+        if (!prev_op && !next_eq) {
+          eq = k;
+          break;
+        }
+        if (next_eq) ++k;
+      }
+    }
+    if (eq == 0 || eq <= b) return;
+    if (t_[eq - 1].kind != Token::kIdent) return;
+    TaintAssign ta;
+    ta.var = std::string(t_[eq - 1].text);
+    ta.line = t_[eq - 1].line;
+    for (std::size_t k = eq + 1; k < e; ++k) {
+      if (t_[k].kind != Token::kIdent) continue;
+      const bool called = k + 1 < e && t_[k + 1].text == "(";
+      if (tables::kD1TypeIdents.count(t_[k].text) != 0 ||
+          (called && tables::kD1CallIdents.count(t_[k].text) != 0)) {
+        ta.direct_source = true;
+      } else if (called && tables::kNonCalleeKeywords.count(t_[k].text) == 0) {
+        ta.from_calls.push_back(std::string(t_[k].text));
+      }
+    }
+    if (ta.direct_source || !ta.from_calls.empty()) {
+      cur_.taints.push_back(std::move(ta));
+    }
+  }
+
+  /// Variable declarations: mutable statics (E1 subjects) and mutex objects
+  /// (L1 nodes), scoped by the enclosing context.
+  void analyze_decl(std::size_t b, std::size_t e) {
+    bool has_static = false, has_tl = false, has_paren = false;
+    int angle = 0;
+    bool angle_bad = false;
+    std::vector<std::size_t> idents;
+    for (std::size_t k = b; k < e; ++k) {
+      if (t_[k].kind == Token::kPunct) {
+        if (t_[k].text == "(") has_paren = true;
+        // Template arguments balance their angles; a comparison ("w <
+        // workers_" in a mis-split for-header) does not.
+        else if (t_[k].text == "<") ++angle;
+        else if (t_[k].text == ">" && --angle < 0) angle_bad = true;
+        continue;
+      }
+      if (kDeclSkip.count(t_[k].text) != 0) return;
+      if (t_[k].text == "static") has_static = true;
+      else if (t_[k].text == "thread_local") has_tl = true;
+      else idents.push_back(k);
+    }
+    if (has_paren || angle != 0 || angle_bad || idents.size() < 2) return;
+
+    const Ctx::Kind scope = decl_scope();
+    if (scope == Ctx::kFunction && !has_static && !has_tl) return;
+    if (scope == Ctx::kClass && !has_static && !has_tl) {
+      // Instance members are per-object state, not escaping statics — but a
+      // member mutex is an L1 node.
+      if (!decl_mentions_mutex(idents)) return;
+    }
+
+    // Declared name: last identifier before "=" (if any), else last overall.
+    std::size_t name_idx = idents.back();
+    for (std::size_t k = b; k < e; ++k) {
+      if (t_[k].kind == Token::kPunct && t_[k].text == "=") {
+        for (auto it = idents.rbegin(); it != idents.rend(); ++it) {
+          if (*it < k) {
+            name_idx = *it;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    std::string name(t_[name_idx].text);
+    // Type hint: last type identifier before the name.
+    std::string type_hint;
+    for (const auto k : idents) {
+      if (k >= name_idx) break;
+      if (kDeclModifiers.count(t_[k].text) == 0) {
+        type_hint = std::string(t_[k].text);
+      }
+    }
+    if (type_hint.empty()) return;  // lone identifier, not a declaration
+
+    if (tables::kMutexTypeIdents.count(type_hint) != 0) {
+      MutexDecl md;
+      md.name = std::move(name);
+      md.line = t_[name_idx].line;
+      md.is_member = scope == Ctx::kClass;
+      if (md.is_member) md.cls = innermost_class();
+      tu_.mutexes.push_back(std::move(md));
+      return;
+    }
+    if (scope == Ctx::kClass && !has_static && !has_tl) return;
+    MutableStatic ms;
+    ms.name = std::move(name);
+    ms.line = t_[name_idx].line;
+    ms.is_thread_local = has_tl;
+    ms.is_function_local = scope == Ctx::kFunction;
+    ms.type_hint = std::move(type_hint);
+    tu_.statics.push_back(std::move(ms));
+  }
+
+  // --- function-body token scan -------------------------------------------
+
+  void scan_body_token() {
+    const Token& tok = t_[i_];
+    // Every identifier is a potential static reference.
+    cur_idents_.emplace(std::string(tok.text), tok.line);
+
+    const Token* nx = at(i_ + 1);
+    const bool called = nx != nullptr && nx->text == "(";
+
+    if (tables::kD1TypeIdents.count(tok.text) != 0) {
+      cur_.sources.push_back({std::string(tok.text), tok.line});
+      return;
+    }
+    if (!called) return;
+
+    if (tables::kD1CallIdents.count(tok.text) != 0 && free_call_at(i_)) {
+      cur_.sources.push_back({std::string(tok.text), tok.line});
+    }
+    if (tables::kLaneBindCalls.count(tok.text) != 0) cur_.binds_lane = true;
+
+    const Token* pv = at(i_ - 1);
+    const bool member_call =
+        pv != nullptr && (pv->text == "." || pv->text == "->");
+
+    // Manual lock()/unlock() on a named mutex.
+    if (member_call && (tok.text == "lock" || tok.text == "unlock") &&
+        i_ >= 2 && t_[i_ - 2].kind == Token::kIdent) {
+      const std::string m(t_[i_ - 2].text);
+      if (tok.text == "lock") {
+        record_acquire(m, tok.line, /*depth=*/-1);
+      } else {
+        held_.erase(std::remove_if(held_.begin(), held_.end(),
+                                   [&](const Held& h) {
+                                     return h.mutex == m && h.depth == -1;
+                                   }),
+                    held_.end());
+      }
+      return;
+    }
+
+    if (tables::kSinkCalls.count(tok.text) != 0) scan_sink(tok, member_call);
+
+    if (tables::kNonCalleeKeywords.count(tok.text) == 0 &&
+        tables::kGuardTypes.count(tok.text) == 0) {
+      CallSite cs;
+      cs.callee = std::string(tok.text);
+      cs.line = tok.line;
+      cs.held = held_names();
+      cur_.calls.push_back(std::move(cs));
+    }
+  }
+
+  /// Virtual-time scheduling sink: record the argument identifiers/calls.
+  void scan_sink(const Token& tok, bool member_call) {
+    (void)member_call;
+    SinkCall sc;
+    sc.name = std::string(tok.text);
+    sc.line = tok.line;
+    int depth = 0;
+    int commas = 0;
+    bool any_tokens = false;
+    for (std::size_t k = i_ + 1; k < t_.size(); ++k) {
+      if (t_[k].kind == Token::kPunct) {
+        if (t_[k].text == "(") ++depth;
+        else if (t_[k].text == ")") {
+          if (--depth == 0) break;
+        } else if (t_[k].text == "," && depth == 1) {
+          ++commas;
+        }
+        continue;
+      }
+      if (depth < 1) break;
+      any_tokens = true;
+      const bool called = k + 1 < t_.size() && t_[k + 1].text == "(";
+      if (called) {
+        if (tables::kNonCalleeKeywords.count(t_[k].text) == 0) {
+          sc.arg_calls.push_back(std::string(t_[k].text));
+        }
+      } else {
+        sc.arg_idents.push_back(std::string(t_[k].text));
+      }
+    }
+    sc.args = any_tokens ? commas + 1 : 0;
+    cur_.sinks.push_back(std::move(sc));
+  }
+
+  bool free_call_at(std::size_t i) const {
+    const Token* pv = at(i - 1);
+    if (pv == nullptr) return true;
+    if (pv->text == "." || pv->text == "->") return false;
+    if (pv->text == "::") {
+      const Token* qual = at(i - 2);
+      static const std::set<std::string_view> kNonQualifiers = {
+          "return", "co_return", "co_await", "co_yield", "throw",
+          "else",   "do",        "case",     "default",
+      };
+      return qual == nullptr || qual->kind != Token::kIdent ||
+             qual->text == "std" || kNonQualifiers.count(qual->text) != 0;
+    }
+    return true;
+  }
+
+  // --- held-mutex bookkeeping ---------------------------------------------
+
+  struct Held {
+    std::string mutex;
+    int depth;  ///< ctx depth of the owning guard; -1 for manual lock()
+  };
+
+  std::vector<std::string> held_names() const {
+    std::vector<std::string> out;
+    out.reserve(held_.size());
+    for (const auto& h : held_) out.push_back(h.mutex);
+    return out;
+  }
+
+  void record_acquire(const std::string& mutex, int line, int depth) {
+    AcquireSite a;
+    a.mutex = mutex;
+    a.line = line;
+    a.held = held_names();
+    cur_.acquires.push_back(std::move(a));
+    held_.push_back({mutex, depth});
+  }
+
+  bool decl_mentions_mutex(const std::vector<std::size_t>& idents) const {
+    for (const auto k : idents) {
+      if (tables::kMutexTypeIdents.count(t_[k].text) != 0) return true;
+    }
+    return false;
+  }
+
+  /// Intersect each function's identifier set with the TU's statics.
+  void finalize_refs() {
+    std::set<std::string> names;
+    for (const auto& s : tu_.statics) names.insert(s.name);
+    if (names.empty()) return;
+    for (std::size_t f = 0; f < tu_.functions.size(); ++f) {
+      for (const auto& [ident, line] : fn_ident_lines_[f]) {
+        if (names.count(ident) != 0) {
+          tu_.functions[f].static_refs.push_back({ident, line});
+        }
+      }
+    }
+  }
+
+  const std::vector<Token>& t_;
+  TuIndex& tu_;
+  std::size_t i_ = 0;
+  std::size_t stmt_begin_ = 0;
+  std::vector<Ctx> ctx_;
+  int fn_depth_ = 0;
+  FunctionInfo cur_;
+  std::map<std::string, int> cur_idents_;  ///< ident -> first line
+  std::vector<std::map<std::string, int>> fn_ident_lines_;
+  std::vector<Held> held_;
+};
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+std::string esc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\t') out += "\\t";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string unesc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\\' && i + 1 < s.size()) {
+      ++i;
+      if (s[i] == 't') out += '\t';
+      else if (s[i] == 'n') out += '\n';
+      else out += s[i];
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& v) {
+  std::string out;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out += ',';
+    out += v[i];
+  }
+  return out;
+}
+
+std::vector<std::string> split_commas(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size() && !s.empty()) {
+    auto c = s.find(',', pos);
+    if (c == std::string_view::npos) c = s.size();
+    if (c > pos) out.emplace_back(s.substr(pos, c - pos));
+    pos = c + 1;
+    if (pos > s.size()) break;
+  }
+  return out;
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t pos = 0;
+  while (pos <= line.size()) {
+    auto tb = line.find('\t', pos);
+    if (tb == std::string_view::npos) tb = line.size();
+    out.push_back(line.substr(pos, tb - pos));
+    pos = tb + 1;
+    if (tb == line.size()) break;
+  }
+  return out;
+}
+
+long to_long(std::string_view s) {
+  long v = 0;
+  bool neg = false;
+  std::size_t i = 0;
+  if (i < s.size() && s[i] == '-') {
+    neg = true;
+    ++i;
+  }
+  for (; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) break;
+    v = v * 10 + (s[i] - '0');
+  }
+  return neg ? -v : v;
+}
+
+std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t from_hex64(std::string_view s) {
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') v |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') v |= static_cast<std::uint64_t>(c - 'a' + 10);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string serialize_tu_index(const TuIndex& tu) {
+  std::ostringstream os;
+  os << kCacheMagic << '\n';
+  os << "P\t" << esc(tu.path) << '\t' << esc(tu.norm) << '\t'
+     << hex64(tu.self_hash) << '\n';
+  for (const auto& [dep, hash] : tu.deps) {
+    os << "D\t" << esc(dep) << '\t' << hex64(hash) << '\n';
+  }
+  for (const auto& inc : tu.raw_includes) os << "I\t" << esc(inc) << '\n';
+  for (const auto& [line, rule] : tu.allows) {
+    os << "A\t" << line << '\t' << rule << '\n';
+  }
+  for (const auto& s : tu.statics) {
+    os << "S\t" << esc(s.name) << '\t' << s.line << '\t'
+       << (s.is_thread_local ? 1 : 0) << '\t' << (s.is_function_local ? 1 : 0)
+       << '\t' << esc(s.type_hint) << '\n';
+  }
+  for (const auto& m : tu.mutexes) {
+    os << "M\t" << esc(m.name) << '\t' << esc(m.cls) << '\t' << m.line << '\t'
+       << (m.is_member ? 1 : 0) << '\n';
+  }
+  for (const auto& fn : tu.functions) {
+    os << "F\t" << esc(fn.name) << '\t' << esc(fn.cls) << '\t' << fn.line
+       << '\t' << (fn.binds_lane ? 1 : 0) << '\n';
+    for (const auto& c : fn.calls) {
+      os << "c\t" << esc(c.callee) << '\t' << c.line << '\t' << join(c.held)
+         << '\n';
+    }
+    for (const auto& a : fn.acquires) {
+      os << "a\t" << esc(a.mutex) << '\t' << a.line << '\t' << join(a.held)
+         << '\n';
+    }
+    for (const auto& r : fn.static_refs) {
+      os << "r\t" << esc(r.name) << '\t' << r.line << '\n';
+    }
+    for (const auto& s : fn.sources) {
+      os << "s\t" << esc(s.primitive) << '\t' << s.line << '\n';
+    }
+    for (const auto& k : fn.sinks) {
+      os << "k\t" << esc(k.name) << '\t' << k.line << '\t' << k.args << '\t'
+         << join(k.arg_idents) << '\t' << join(k.arg_calls) << '\n';
+    }
+    for (const auto& ta : fn.taints) {
+      os << "t\t" << esc(ta.var) << '\t' << ta.line << '\t'
+         << (ta.direct_source ? 1 : 0) << '\t' << join(ta.from_calls) << '\n';
+    }
+  }
+  for (const auto& f : tu.tu_findings) {
+    os << "f\t" << rule_id(f.rule) << '\t' << esc(f.file) << '\t' << f.line
+       << '\t' << esc(f.key) << '\t' << esc(f.message) << '\n';
+  }
+  return os.str();
+}
+
+bool deserialize_tu_index(std::string_view data, TuIndex& out) {
+  std::size_t pos = 0;
+  bool first = true;
+  FunctionInfo* fn = nullptr;
+  while (pos < data.size()) {
+    auto eol = data.find('\n', pos);
+    if (eol == std::string_view::npos) eol = data.size();
+    const std::string_view line = data.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (first) {
+      if (line != kCacheMagic) return false;
+      first = false;
+      continue;
+    }
+    const auto f = split_tabs(line);
+    if (f.empty()) continue;
+    const std::string_view tag = f[0];
+    if (tag == "P" && f.size() >= 4) {
+      out.path = unesc(f[1]);
+      out.norm = unesc(f[2]);
+      out.self_hash = from_hex64(f[3]);
+    } else if (tag == "D" && f.size() >= 3) {
+      out.deps.emplace_back(unesc(f[1]), from_hex64(f[2]));
+    } else if (tag == "I" && f.size() >= 2) {
+      out.raw_includes.push_back(unesc(f[1]));
+    } else if (tag == "A" && f.size() >= 3) {
+      out.allows.emplace_back(static_cast<int>(to_long(f[1])),
+                              std::string(f[2]));
+    } else if (tag == "S" && f.size() >= 6) {
+      MutableStatic s;
+      s.name = unesc(f[1]);
+      s.line = static_cast<int>(to_long(f[2]));
+      s.is_thread_local = f[3] == "1";
+      s.is_function_local = f[4] == "1";
+      s.type_hint = unesc(f[5]);
+      out.statics.push_back(std::move(s));
+    } else if (tag == "M" && f.size() >= 5) {
+      MutexDecl m;
+      m.name = unesc(f[1]);
+      m.cls = unesc(f[2]);
+      m.line = static_cast<int>(to_long(f[3]));
+      m.is_member = f[4] == "1";
+      out.mutexes.push_back(std::move(m));
+    } else if (tag == "F" && f.size() >= 5) {
+      FunctionInfo info;
+      info.name = unesc(f[1]);
+      info.cls = unesc(f[2]);
+      info.line = static_cast<int>(to_long(f[3]));
+      info.binds_lane = f[4] == "1";
+      out.functions.push_back(std::move(info));
+      fn = &out.functions.back();
+    } else if (tag == "c" && f.size() >= 4 && fn != nullptr) {
+      fn->calls.push_back({unesc(f[1]), static_cast<int>(to_long(f[2])),
+                           split_commas(f[3])});
+    } else if (tag == "a" && f.size() >= 4 && fn != nullptr) {
+      fn->acquires.push_back({unesc(f[1]), static_cast<int>(to_long(f[2])),
+                              split_commas(f[3])});
+    } else if (tag == "r" && f.size() >= 3 && fn != nullptr) {
+      fn->static_refs.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
+    } else if (tag == "s" && f.size() >= 3 && fn != nullptr) {
+      fn->sources.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
+    } else if (tag == "k" && f.size() >= 6 && fn != nullptr) {
+      SinkCall sc;
+      sc.name = unesc(f[1]);
+      sc.line = static_cast<int>(to_long(f[2]));
+      sc.args = static_cast<int>(to_long(f[3]));
+      sc.arg_idents = split_commas(f[4]);
+      sc.arg_calls = split_commas(f[5]);
+      fn->sinks.push_back(std::move(sc));
+    } else if (tag == "t" && f.size() >= 5 && fn != nullptr) {
+      TaintAssign ta;
+      ta.var = unesc(f[1]);
+      ta.line = static_cast<int>(to_long(f[2]));
+      ta.direct_source = f[3] == "1";
+      ta.from_calls = split_commas(f[4]);
+      fn->taints.push_back(std::move(ta));
+    } else if (tag == "f" && f.size() >= 6) {
+      Finding fd;
+      if (!rule_from_id(f[1], fd.rule)) return false;
+      fd.file = unesc(f[2]);
+      fd.line = static_cast<int>(to_long(f[3]));
+      fd.key = unesc(f[4]);
+      fd.message = unesc(f[5]);
+      out.tu_findings.push_back(std::move(fd));
+    }
+  }
+  return !first;
+}
+
+// ---------------------------------------------------------------------------
+// build_tu_index
+// ---------------------------------------------------------------------------
+
+TuIndex build_tu_index(std::string_view path, std::string_view content) {
+  TuIndex tu;
+  tu.path = std::string(path);
+  tu.norm = normalize(path);
+  tu.self_hash = fnv1a64(content);
+  tu.raw_includes = extract_includes(content);
+
+  const Lexed lx = lex(content);
+  IndexScanner scanner(lx, tu);
+  scanner.run();
+
+  // Expand allow() coverage: an annotation covers its own line and the
+  // first code line after it (matching the per-TU "same line or directly
+  // above" semantics for findings reported at declaration/use sites).
+  std::set<int> code_lines;
+  for (const auto& tok : lx.tokens) code_lines.insert(tok.line);
+  for (const auto& [line, notes] : lx.allows) {
+    for (const auto& note : notes) {
+      tu.allows.emplace_back(line, note.rule);
+      auto it = code_lines.upper_bound(line);
+      if (it != code_lines.end()) tu.allows.emplace_back(*it, note.rule);
+    }
+  }
+  std::sort(tu.allows.begin(), tu.allows.end());
+  tu.allows.erase(std::unique(tu.allows.begin(), tu.allows.end()),
+                  tu.allows.end());
+
+  tu.tu_findings = lint_source(path, content);
+  return tu;
+}
+
+// ---------------------------------------------------------------------------
+// run_index: cache + parallel driver
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+std::vector<TuIndex> run_index(std::vector<std::string> files,
+                               const IndexOptions& options,
+                               IndexStats* stats) {
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  const std::size_t n = files.size();
+
+  std::vector<std::string> contents(n);
+  std::vector<bool> readable(n, true);
+  std::map<std::string, std::uint64_t> hash_by_norm;
+  std::map<std::string, std::size_t> index_by_norm;
+  std::vector<std::string> norms(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    norms[i] = normalize(files[i]);
+    readable[i] = read_file(files[i], contents[i]);
+    hash_by_norm[norms[i]] = readable[i] ? fnv1a64(contents[i]) : 0;
+    index_by_norm[norms[i]] = i;
+  }
+
+  // Direct include graph over the file set (resolved against the including
+  // file's directory, then each root).
+  auto resolve_include = [&](const std::string& from,
+                             const std::string& inc) -> std::string {
+    std::vector<std::string> candidates;
+    const fs::path dir = fs::path(from).parent_path();
+    candidates.push_back(normalize((dir / inc).lexically_normal().string()));
+    for (const auto& root : options.roots) {
+      candidates.push_back(
+          normalize((fs::path(root) / inc).lexically_normal().string()));
+    }
+    for (const auto& c : candidates) {
+      if (hash_by_norm.count(c) != 0) return c;
+    }
+    return {};
+  };
+
+  std::vector<std::vector<std::size_t>> direct_deps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!readable[i]) continue;
+    for (const auto& inc : extract_includes(contents[i])) {
+      const std::string resolved = resolve_include(norms[i], inc);
+      if (resolved.empty()) continue;
+      const auto it = index_by_norm.find(resolved);
+      if (it != index_by_norm.end() && it->second != i) {
+        direct_deps[i].push_back(it->second);
+      }
+    }
+  }
+
+  // Transitive closure per file (the graphs are small; BFS each).
+  auto closure_of = [&](std::size_t i) {
+    std::vector<std::size_t> order;
+    std::set<std::size_t> seen;
+    std::vector<std::size_t> work(direct_deps[i].begin(),
+                                  direct_deps[i].end());
+    while (!work.empty()) {
+      const std::size_t d = work.back();
+      work.pop_back();
+      if (!seen.insert(d).second) continue;
+      order.push_back(d);
+      for (const auto nd : direct_deps[d]) work.push_back(nd);
+    }
+    std::sort(order.begin(), order.end());
+    return order;
+  };
+
+  const bool caching = !options.cache_dir.empty();
+  if (caching) {
+    std::error_code ec;
+    fs::create_directories(options.cache_dir, ec);
+  }
+  auto cache_path = [&](const std::string& norm) {
+    return options.cache_dir + "/" + hex64(fnv1a64(norm)) + ".tui";
+  };
+
+  std::vector<TuIndex> out(n);
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> hits{0};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= n) return;
+      if (!readable[i]) {
+        TuIndex tu;
+        tu.path = files[i];
+        tu.norm = norms[i];
+        tu.tu_findings.push_back({Rule::kAnnotation, files[i], 0,
+                                  "cannot open file for linting", {}});
+        out[i] = std::move(tu);
+        continue;
+      }
+      if (caching) {
+        std::string cached;
+        if (read_file(cache_path(norms[i]), cached)) {
+          TuIndex tu;
+          if (deserialize_tu_index(cached, tu) &&
+              tu.self_hash == hash_by_norm[norms[i]]) {
+            bool valid = true;
+            for (const auto& [dep, hash] : tu.deps) {
+              const auto it = hash_by_norm.find(dep);
+              if (it == hash_by_norm.end() || it->second != hash) {
+                valid = false;
+                break;
+              }
+            }
+            if (valid) {
+              tu.path = files[i];
+              tu.norm = norms[i];
+              tu.from_cache = true;
+              hits.fetch_add(1);
+              out[i] = std::move(tu);
+              continue;
+            }
+          }
+        }
+      }
+      TuIndex tu = build_tu_index(files[i], contents[i]);
+      for (const auto d : closure_of(i)) {
+        tu.deps.emplace_back(norms[d], hash_by_norm[norms[d]]);
+      }
+      if (caching) {
+        std::ofstream cache(cache_path(norms[i]),
+                            std::ios::binary | std::ios::trunc);
+        if (cache) cache << serialize_tu_index(tu);
+      }
+      out[i] = std::move(tu);
+    }
+  };
+
+  const unsigned jobs =
+      std::max(1u, std::min(options.jobs, static_cast<unsigned>(n)));
+  if (jobs <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (unsigned j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+
+  if (stats != nullptr) {
+    stats->files = n;
+    stats->cache_hits = hits.load();
+    stats->reindexed = n - stats->cache_hits;
+  }
+  return out;
+}
+
+}  // namespace symlint

@@ -1,0 +1,150 @@
+// tools/symlint/index.hpp
+//
+// Pass 1 of symlint v2: the persistent cross-TU index.
+//
+// For every translation unit the indexer extracts, with one lexical
+// forward scan over the token stream:
+//   - the function definitions (qualified name, line span), each with its
+//     call sites, mutex acquisitions (RAII guards and manual lock()/
+//     unlock()) annotated with the set of mutexes already held, references
+//     to this TU's mutable statics, nondeterminism-source calls, virtual-
+//     time scheduling sinks, and local taint assignments;
+//   - mutable namespace-scope / function-local-static / class-static
+//     variable declarations (E1 subjects);
+//   - mutex object declarations (L1 nodes);
+//   - the allow() annotation map and the per-TU D-rule findings (cached so
+//     a warm run never re-lexes an unchanged file).
+//
+// The index is cached per TU under <cache-dir>/ keyed by a version-stamped
+// FNV-1a hash of the file path; an entry is valid only while the file's own
+// content hash AND the content hashes of its transitive project includes
+// are unchanged — touching a header re-indexes exactly its dependents.
+//
+// Everything here is deterministic: containers iterated for output are
+// ordered, and parallel indexing writes results into per-file slots so the
+// merge order is the sorted file order, not thread arrival order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace symlint {
+
+struct CallSite {
+  std::string callee;  ///< unqualified callee name
+  int line = 0;
+  std::vector<std::string> held;  ///< mutex tokens held at the call
+};
+
+struct AcquireSite {
+  std::string mutex;  ///< mutex token as written ("mu_", "g_a")
+  int line = 0;
+  std::vector<std::string> held;  ///< mutexes already held when acquiring
+};
+
+struct SinkCall {
+  std::string name;  ///< "after", "at_on", ...
+  int line = 0;
+  int args = 0;  ///< argument count ("at" is a sink only with >= 2)
+  std::vector<std::string> arg_idents;  ///< plain identifiers in the args
+  std::vector<std::string> arg_calls;   ///< identifiers called in the args
+};
+
+struct TaintAssign {
+  std::string var;
+  int line = 0;
+  std::vector<std::string> from_calls;  ///< callees on the right-hand side
+  bool direct_source = false;  ///< rhs contains a D1 primitive directly
+};
+
+struct SourceCall {
+  std::string primitive;  ///< "time", "steady_clock", ...
+  int line = 0;
+};
+
+struct StaticRef {
+  std::string name;
+  int line = 0;  ///< first reference line within the function
+};
+
+struct FunctionInfo {
+  std::string name;  ///< possibly qualified ("Backend::put")
+  std::string cls;   ///< enclosing class, "" for free functions
+  int line = 0;
+  std::vector<CallSite> calls;
+  std::vector<AcquireSite> acquires;
+  std::vector<StaticRef> static_refs;
+  std::vector<SourceCall> sources;
+  std::vector<SinkCall> sinks;
+  std::vector<TaintAssign> taints;
+  bool binds_lane = false;  ///< calls bind_home_lane / assert_home_lane
+};
+
+struct MutableStatic {
+  std::string name;
+  int line = 0;
+  bool is_thread_local = false;
+  bool is_function_local = false;
+  std::string type_hint;  ///< first type identifier, for the message
+};
+
+struct MutexDecl {
+  std::string name;
+  std::string cls;  ///< owning class for members, "" for globals
+  int line = 0;
+  bool is_member = false;
+};
+
+struct TuIndex {
+  std::string path;  ///< as given (what findings report)
+  std::string norm;  ///< normalized, '/'-separated
+  std::uint64_t self_hash = 0;
+  /// Transitive project includes with their content hash at index time.
+  std::vector<std::pair<std::string, std::uint64_t>> deps;
+  std::vector<std::string> raw_includes;  ///< unresolved #include "..." targets
+  std::vector<FunctionInfo> functions;
+  std::vector<MutableStatic> statics;
+  std::vector<MutexDecl> mutexes;
+  /// Effective allow coverage: (line, rule-name), already expanded so an
+  /// annotation covers its own line plus the code line beneath it.
+  std::vector<std::pair<int, std::string>> allows;
+  std::vector<Finding> tu_findings;  ///< cached per-TU D-rule findings
+  bool from_cache = false;
+};
+
+/// Index one TU from memory (no cache, no include resolution). The
+/// fixture tests feed virtual paths through this.
+[[nodiscard]] TuIndex build_tu_index(std::string_view path,
+                                     std::string_view content);
+
+/// Cache round-trip (text format, version-stamped).
+[[nodiscard]] std::string serialize_tu_index(const TuIndex& tu);
+bool deserialize_tu_index(std::string_view data, TuIndex& out);
+
+struct IndexOptions {
+  std::string cache_dir;  ///< empty = no cache
+  unsigned jobs = 1;      ///< worker threads for the index pass
+  /// Roots that #include "..." paths are resolved against (in addition to
+  /// the including file's own directory).
+  std::vector<std::string> roots;
+};
+
+struct IndexStats {
+  std::size_t files = 0;
+  std::size_t cache_hits = 0;
+  std::size_t reindexed = 0;
+};
+
+/// Index `files` (disk paths), using and refreshing the cache. Results are
+/// in sorted-path order regardless of `jobs`. Unreadable files get an A0
+/// finding in their tu_findings.
+[[nodiscard]] std::vector<TuIndex> run_index(std::vector<std::string> files,
+                                             const IndexOptions& options,
+                                             IndexStats* stats = nullptr);
+
+}  // namespace symlint

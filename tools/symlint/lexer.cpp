@@ -1,0 +1,208 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace symlint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Parse "allow(<rule>) reason=<text>" annotations out of comments carrying
+/// the marker token ("symlint" followed by a colon). Comments without the
+/// marker are ignored entirely, as is namespace qualification ("symlint" and
+/// two colons, which closing-namespace comments produce).
+void parse_annotation(std::string_view comment, int line, Lexed& out) {
+  auto marker = std::string_view::npos;
+  for (auto at = comment.find("symlint:"); at != std::string_view::npos;
+       at = comment.find("symlint:", at + 8)) {
+    if (comment.size() > at + 8 && comment[at + 8] == ':') continue;
+    marker = at;
+    break;
+  }
+  if (marker == std::string_view::npos) return;
+  std::string_view rest = comment.substr(marker + 8);
+
+  const auto open = rest.find("allow(");
+  if (open == std::string_view::npos) {
+    out.annotation_errors.push_back(
+        {line, "symlint: marker without allow(<rule>)"});
+    return;
+  }
+  const auto close = rest.find(')', open);
+  if (close == std::string_view::npos) {
+    out.annotation_errors.push_back({line, "unterminated allow("});
+    return;
+  }
+  std::string rule(rest.substr(open + 6, close - open - 6));
+
+  bool has_reason = false;
+  const auto reason = rest.find("reason=", close);
+  if (reason != std::string_view::npos) {
+    std::string_view text = rest.substr(reason + 7);
+    // Reason must contain at least one non-space character.
+    has_reason = std::any_of(text.begin(), text.end(), [](char c) {
+      return !std::isspace(static_cast<unsigned char>(c));
+    });
+  }
+  if (!has_reason) {
+    out.annotation_errors.push_back(
+        {line, "allow(" + rule + ") annotation missing reason="});
+    return;
+  }
+  if (!is_known_allow_rule(rule)) {
+    out.annotation_errors.push_back(
+        {line, "allow() with unknown rule '" + rule + "'"});
+    return;
+  }
+  out.allows[line].push_back({std::move(rule), true});
+}
+
+}  // namespace
+
+bool is_known_allow_rule(std::string_view rule) noexcept {
+  static const std::set<std::string_view> kKnownRules = {
+      "nondeterminism",      "unordered-iter",  "fiber-blocking",
+      "lane-affinity",       "lock-order",      "shared-state-escape",
+      "determinism-taint",
+  };
+  return kKnownRules.count(rule) != 0;
+}
+
+Lexed lex(std::string_view src) {
+  Lexed out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  auto advance_over = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (src[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const auto end = src.find('\n', i);
+      const auto text =
+          src.substr(i, end == std::string_view::npos ? n - i : end - i);
+      parse_annotation(text, line, out);
+      i += text.size();
+      continue;
+    }
+    // Block comment (annotation applies to the line where it starts).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const auto end = src.find("*/", i + 2);
+      const auto stop = end == std::string_view::npos ? n : end + 2;
+      parse_annotation(src.substr(i, stop - i), line, out);
+      advance_over(stop - i);
+      continue;
+    }
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      std::size_t d = i + 2;
+      while (d < n && src[d] != '(') ++d;
+      const std::string closer =
+          ")" + std::string(src.substr(i + 2, d - i - 2)) + "\"";
+      const auto end = src.find(closer, d);
+      const auto stop =
+          end == std::string_view::npos ? n : end + closer.size();
+      advance_over(stop - i);
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      advance_over(std::min(j + 1, n) - i);
+      continue;
+    }
+    // Number (skip; digit separators and exponent signs included).
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i + 1;
+      while (j < n && (ident_char(src[j]) || src[j] == '\'' ||
+                       src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      out.tokens.push_back({Token::kIdent, src.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; "::" and "->" matter to the rules, keep them whole.
+    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
+      out.tokens.push_back({Token::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
+      out.tokens.push_back({Token::kPunct, src.substr(i, 2), line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({Token::kPunct, src.substr(i, 1), line});
+    ++i;
+  }
+  return out;
+}
+
+std::vector<std::string> extract_includes(std::string_view src) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos < src.size()) {
+    auto eol = src.find('\n', pos);
+    if (eol == std::string_view::npos) eol = src.size();
+    std::string_view ln = src.substr(pos, eol - pos);
+    pos = eol + 1;
+    // Match: optional ws, '#', optional ws, "include", ws, '"' path '"'.
+    std::size_t k = 0;
+    while (k < ln.size() && std::isspace(static_cast<unsigned char>(ln[k]))) {
+      ++k;
+    }
+    if (k >= ln.size() || ln[k] != '#') continue;
+    ++k;
+    while (k < ln.size() && std::isspace(static_cast<unsigned char>(ln[k]))) {
+      ++k;
+    }
+    if (ln.substr(k, 7) != "include") continue;
+    k += 7;
+    while (k < ln.size() && std::isspace(static_cast<unsigned char>(ln[k]))) {
+      ++k;
+    }
+    if (k >= ln.size() || ln[k] != '"') continue;
+    const auto close = ln.find('"', k + 1);
+    if (close == std::string_view::npos) continue;
+    out.emplace_back(ln.substr(k + 1, close - k - 1));
+  }
+  return out;
+}
+
+}  // namespace symlint

@@ -1,0 +1,69 @@
+// tools/symlint/lexer.hpp
+//
+// Shared lexical layer for both symlint passes. Pass 0 (per-TU scanning,
+// lint.cpp) and pass 1 (cross-TU indexing, index.cpp) both consume the same
+// token stream: identifiers and punctuation with comments, strings and
+// numbers stripped, "::" and "->" kept as single tokens, plus the
+// "allow(<rule>) reason=..." annotations parsed out of marked comments.
+//
+// Keeping one lexer means an annotation suppresses a finding identically
+// whether the finding came from a lexical rule (D1-D4) or an
+// interprocedural one (L1/E1/T1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symlint {
+
+struct Token {
+  enum Kind { kIdent, kPunct } kind;
+  std::string_view text;
+  int line;
+};
+
+struct AllowNote {
+  std::string rule;  ///< annotation rule name, e.g. "unordered-iter"
+  bool has_reason;
+};
+
+struct AnnotationError {
+  int line;
+  std::string message;
+};
+
+/// Lexed view of one TU: identifier/punctuation tokens plus the allow()
+/// annotations found in comments. Annotation *errors* (missing reason=,
+/// unknown rule) are collected here and turned into A0 findings by the
+/// scanner.
+struct Lexed {
+  std::vector<Token> tokens;
+  std::map<int, std::vector<AllowNote>> allows;  ///< line -> notes
+  std::vector<AnnotationError> annotation_errors;
+};
+
+/// Tokenize one TU. `src` must outlive the returned view (tokens are
+/// string_views into it).
+[[nodiscard]] Lexed lex(std::string_view src);
+
+/// Quoted #include targets ("simkit/engine.hpp"), in file order. Angle
+/// includes are system headers and never part of the project include graph.
+[[nodiscard]] std::vector<std::string> extract_includes(std::string_view src);
+
+/// FNV-1a 64-bit content hash — the cache key for the incremental index.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// The set of rule names accepted in allow(<rule>) annotations.
+[[nodiscard]] bool is_known_allow_rule(std::string_view rule) noexcept;
+
+}  // namespace symlint

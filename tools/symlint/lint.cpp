@@ -1,278 +1,23 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
 #include <fstream>
-#include <map>
 #include <set>
 #include <sstream>
 
+#include "lexer.hpp"
+#include "tables.hpp"
+
 namespace symlint {
 namespace {
-
-// ---------------------------------------------------------------------------
-// Tokenizer
-// ---------------------------------------------------------------------------
-
-struct Token {
-  enum Kind { kIdent, kPunct } kind;
-  std::string_view text;
-  int line;
-};
-
-struct AllowNote {
-  std::string rule;  ///< annotation rule name, e.g. "unordered-iter"
-  bool has_reason;
-};
-
-/// Lexed view of one TU: identifier/punctuation tokens (comments, strings
-/// and numbers stripped) plus the allow() annotations found in comments.
-struct Lexed {
-  std::vector<Token> tokens;
-  std::map<int, std::vector<AllowNote>> allows;  ///< line -> notes
-  std::vector<Finding> annotation_findings;      ///< malformed annotations
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/// Parse "symlint: allow(<rule>) reason=<text>" out of a comment. Comments
-/// without the "symlint:" marker are ignored entirely.
-void parse_annotation(std::string_view comment, int line,
-                      std::string_view path, Lexed& out) {
-  const auto marker = comment.find("symlint:");
-  if (marker == std::string_view::npos) return;
-  std::string_view rest = comment.substr(marker + 8);
-
-  const auto open = rest.find("allow(");
-  if (open == std::string_view::npos) {
-    out.annotation_findings.push_back(
-        {Rule::kAnnotation, std::string(path), line,
-         "symlint: marker without allow(<rule>)"});
-    return;
-  }
-  const auto close = rest.find(')', open);
-  if (close == std::string_view::npos) {
-    out.annotation_findings.push_back({Rule::kAnnotation, std::string(path),
-                                       line, "unterminated allow("});
-    return;
-  }
-  std::string rule(rest.substr(open + 6, close - open - 6));
-
-  bool has_reason = false;
-  const auto reason = rest.find("reason=", close);
-  if (reason != std::string_view::npos) {
-    std::string_view text = rest.substr(reason + 7);
-    // Reason must contain at least one non-space character.
-    has_reason = std::any_of(text.begin(), text.end(), [](char c) {
-      return !std::isspace(static_cast<unsigned char>(c));
-    });
-  }
-  if (!has_reason) {
-    out.annotation_findings.push_back(
-        {Rule::kAnnotation, std::string(path), line,
-         "allow(" + rule + ") annotation missing reason="});
-    return;
-  }
-  static const std::set<std::string> kKnownRules = {
-      "nondeterminism", "unordered-iter", "fiber-blocking", "lane-affinity"};
-  if (kKnownRules.count(rule) == 0) {
-    out.annotation_findings.push_back(
-        {Rule::kAnnotation, std::string(path), line,
-         "allow() with unknown rule '" + rule + "'"});
-    return;
-  }
-  out.allows[line].push_back({std::move(rule), true});
-}
-
-Lexed lex(std::string_view path, std::string_view src) {
-  Lexed out;
-  int line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-
-  auto advance_over = [&](std::size_t count) {
-    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
-      if (src[i] == '\n') ++line;
-    }
-  };
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c))) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const auto end = src.find('\n', i);
-      const auto text =
-          src.substr(i, end == std::string_view::npos ? n - i : end - i);
-      parse_annotation(text, line, path, out);
-      i += text.size();
-      continue;
-    }
-    // Block comment (annotation applies to the line where it starts).
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const auto end = src.find("*/", i + 2);
-      const auto stop = end == std::string_view::npos ? n : end + 2;
-      parse_annotation(src.substr(i, stop - i), line, path, out);
-      advance_over(stop - i);
-      continue;
-    }
-    // Raw string literal.
-    if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
-      std::size_t d = i + 2;
-      while (d < n && src[d] != '(') ++d;
-      const std::string closer =
-          ")" + std::string(src.substr(i + 2, d - i - 2)) + "\"";
-      const auto end = src.find(closer, d);
-      const auto stop =
-          end == std::string_view::npos ? n : end + closer.size();
-      advance_over(stop - i);
-      continue;
-    }
-    // String / char literal.
-    if (c == '"' || c == '\'') {
-      std::size_t j = i + 1;
-      while (j < n && src[j] != c) {
-        if (src[j] == '\\' && j + 1 < n) ++j;
-        ++j;
-      }
-      advance_over(std::min(j + 1, n) - i);
-      continue;
-    }
-    // Number (skip; digit separators and exponent signs included).
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i + 1;
-      while (j < n && (ident_char(src[j]) || src[j] == '\'' ||
-                       src[j] == '.' ||
-                       ((src[j] == '+' || src[j] == '-') &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
-        ++j;
-      }
-      i = j;
-      continue;
-    }
-    if (ident_start(c)) {
-      std::size_t j = i + 1;
-      while (j < n && ident_char(src[j])) ++j;
-      out.tokens.push_back({Token::kIdent, src.substr(i, j - i), line});
-      i = j;
-      continue;
-    }
-    // Punctuation; "::" and "->" matter to the rules, keep them whole.
-    if (c == ':' && i + 1 < n && src[i + 1] == ':') {
-      out.tokens.push_back({Token::kPunct, src.substr(i, 2), line});
-      i += 2;
-      continue;
-    }
-    if (c == '-' && i + 1 < n && src[i + 1] == '>') {
-      out.tokens.push_back({Token::kPunct, src.substr(i, 2), line});
-      i += 2;
-      continue;
-    }
-    out.tokens.push_back({Token::kPunct, src.substr(i, 1), line});
-    ++i;
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Path scoping
-// ---------------------------------------------------------------------------
-
-struct Scope {
-  bool scan = false;         ///< file is under src/ at all
-  bool d1 = false;           ///< nondeterminism rule applies
-  bool d2 = false;           ///< unordered-iter rule applies
-  bool d3 = false;           ///< fiber-blocking rule applies
-  bool d4 = false;           ///< lane-affinity rule applies
-};
 
 bool ends_with(std::string_view s, std::string_view suffix) {
   return s.size() >= suffix.size() &&
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-Scope classify(std::string_view path) {
-  std::string norm(path);
-  std::replace(norm.begin(), norm.end(), '\\', '/');
-  const auto pos = norm.find("src/");
-  Scope s;
-  if (pos == std::string::npos) return s;
-  const std::string rel = norm.substr(pos);  // "src/..."
-  s.scan = true;
-
-  s.d1 = !(ends_with(rel, "simkit/time.hpp") || ends_with(rel, "simkit/rng.hpp"));
-  s.d2 = rel.rfind("src/symbiosys/", 0) == 0;
-  // The simkit substrate owns the real worker threads (window coordinator),
-  // so std:: threading there is the implementation, not a violation.
-  s.d3 = rel.rfind("src/simkit/", 0) != 0;
-  static const char* kLaneFiles[] = {
-      "simkit/lane.hpp",   "simkit/lane.cpp",   "simkit/window.hpp",
-      "simkit/window.cpp", "simkit/engine.hpp", "simkit/engine.cpp",
-  };
-  s.d4 = true;
-  for (const char* f : kLaneFiles) {
-    if (ends_with(rel, f)) s.d4 = false;
-  }
-  return s;
-}
-
 // ---------------------------------------------------------------------------
-// Rule tables
-// ---------------------------------------------------------------------------
-
-// D1: identifiers that are nondeterministic wherever they appear.
-const std::set<std::string_view> kD1TypeIdents = {
-    "steady_clock",  "system_clock", "high_resolution_clock",
-    "random_device", "mt19937",      "mt19937_64",
-    "minstd_rand",   "minstd_rand0", "default_random_engine",
-};
-// D1: libc functions — nondeterministic when *called* (next token is "(").
-const std::set<std::string_view> kD1CallIdents = {
-    "time",      "clock",        "rand",     "srand",   "rand_r",
-    "drand48",   "lrand48",      "random",   "srandom", "getenv",
-    "secure_getenv", "gettimeofday", "clock_gettime", "localtime",
-    "gmtime",    "ctime",        "mktime",
-};
-
-// D3: std:: entities that block or spawn real OS threads.
-const std::set<std::string_view> kD3StdIdents = {
-    "mutex",          "recursive_mutex",        "timed_mutex",
-    "shared_mutex",   "condition_variable",     "condition_variable_any",
-    "thread",         "jthread",                "this_thread",
-    "counting_semaphore", "binary_semaphore",   "latch",
-    "future",         "promise",
-};
-// D3: blocking syscalls / libc calls.
-const std::set<std::string_view> kD3CallIdents = {
-    "sleep",      "usleep", "nanosleep", "sched_yield", "pthread_create",
-    "poll",       "select", "epoll_wait", "fsync",      "fdatasync",
-    "flock",
-};
-
-// D4: Lane types and Lane-only member functions.
-const std::set<std::string_view> kD4TypeIdents = {"Lane", "ActiveLaneScope",
-                                                  "WindowCoordinator"};
-const std::set<std::string_view> kD4MemberCalls = {
-    "post_remote", "absorb_outbox_from", "run_window", "pop_and_run",
-    "peek_next",
-};
-
-// ---------------------------------------------------------------------------
-// Scanner
+// Scanner (per-TU rules)
 // ---------------------------------------------------------------------------
 
 class Scanner {
@@ -291,7 +36,10 @@ class Scanner {
       if (scope_.d4) check_d4(i);
     }
     // Malformed annotations are findings regardless of scope.
-    for (const auto& f : lx_.annotation_findings) findings_.push_back(f);
+    for (const auto& e : lx_.annotation_errors) {
+      findings_.push_back(
+          {Rule::kAnnotation, std::string(path_), e.line, e.message, {}});
+    }
     apply_allows();
     return std::move(findings_);
   }
@@ -337,20 +85,21 @@ class Scanner {
   }
 
   void add(Rule rule, int line, std::string message) {
-    findings_.push_back({rule, std::string(path_), line, std::move(message)});
+    findings_.push_back(
+        {rule, std::string(path_), line, std::move(message), {}});
   }
 
   // --- D1 ---
   void check_d1(std::size_t i) {
     const auto& tok = lx_.tokens[i];
-    if (kD1TypeIdents.count(tok.text) != 0) {
+    if (tables::kD1TypeIdents.count(tok.text) != 0) {
       add(Rule::kNondeterminism, tok.line,
           "nondeterministic source '" + std::string(tok.text) +
               "' (draw virtual time from simkit/time.hpp and randomness "
               "from sym::sim::Rng)");
       return;
     }
-    if (kD1CallIdents.count(tok.text) != 0 && is_free_call(i)) {
+    if (tables::kD1CallIdents.count(tok.text) != 0 && is_free_call(i)) {
       add(Rule::kNondeterminism, tok.line,
           "nondeterministic call '" + std::string(tok.text) +
               "()' (draw virtual time from simkit/time.hpp and randomness "
@@ -431,14 +180,14 @@ class Scanner {
   // --- D3 ---
   void check_d3(std::size_t i) {
     const auto& tok = lx_.tokens[i];
-    if (kD3StdIdents.count(tok.text) != 0 && is_std_qualified(i)) {
+    if (tables::kD3StdIdents.count(tok.text) != 0 && is_std_qualified(i)) {
       add(Rule::kFiberBlocking, tok.line,
           "blocking primitive 'std::" + std::string(tok.text) +
               "' in fiber-executed code (block through argolite's sync "
               "primitives in sym::abt so the ULT yields its ES)");
       return;
     }
-    if (kD3CallIdents.count(tok.text) != 0 && is_free_call(i)) {
+    if (tables::kD3CallIdents.count(tok.text) != 0 && is_free_call(i)) {
       add(Rule::kFiberBlocking, tok.line,
           "blocking call '" + std::string(tok.text) +
               "()' in fiber-executed code (model delays with "
@@ -449,7 +198,7 @@ class Scanner {
   // --- D4 ---
   void check_d4(std::size_t i) {
     const auto& tok = lx_.tokens[i];
-    if (kD4TypeIdents.count(tok.text) != 0) {
+    if (tables::kD4TypeIdents.count(tok.text) != 0) {
       add(Rule::kLaneAffinity, tok.line,
           "direct use of sim::" + std::string(tok.text) +
               " outside simkit/{lane,window,engine} (schedule through "
@@ -457,7 +206,7 @@ class Scanner {
               "deterministic window mailbox)");
       return;
     }
-    if (kD4MemberCalls.count(tok.text) != 0) {
+    if (tables::kD4MemberCalls.count(tok.text) != 0) {
       const Token* pv = prev(i);
       const Token* nx = next(i);
       if (pv != nullptr && (pv->text == "." || pv->text == "->") &&
@@ -519,6 +268,9 @@ std::string_view rule_id(Rule r) noexcept {
     case Rule::kUnorderedIter: return "D2";
     case Rule::kFiberBlocking: return "D3";
     case Rule::kLaneAffinity: return "D4";
+    case Rule::kLockOrder: return "L1";
+    case Rule::kSharedEscape: return "E1";
+    case Rule::kTaint: return "T1";
   }
   return "??";
 }
@@ -530,8 +282,27 @@ std::string_view rule_name(Rule r) noexcept {
     case Rule::kUnorderedIter: return "unordered-iter";
     case Rule::kFiberBlocking: return "fiber-blocking";
     case Rule::kLaneAffinity: return "lane-affinity";
+    case Rule::kLockOrder: return "lock-order";
+    case Rule::kSharedEscape: return "shared-state-escape";
+    case Rule::kTaint: return "determinism-taint";
   }
   return "unknown";
+}
+
+bool rule_from_id(std::string_view id, Rule& out) noexcept {
+  static const std::pair<std::string_view, Rule> kIds[] = {
+      {"A0", Rule::kAnnotation},    {"D1", Rule::kNondeterminism},
+      {"D2", Rule::kUnorderedIter}, {"D3", Rule::kFiberBlocking},
+      {"D4", Rule::kLaneAffinity},  {"L1", Rule::kLockOrder},
+      {"E1", Rule::kSharedEscape},  {"T1", Rule::kTaint},
+  };
+  for (const auto& [name, rule] : kIds) {
+    if (name == id) {
+      out = rule;
+      return true;
+    }
+  }
+  return false;
 }
 
 std::string Finding::format() const {
@@ -541,11 +312,57 @@ std::string Finding::format() const {
   return os.str();
 }
 
+Scope classify(std::string_view path) {
+  std::string norm(path);
+  std::replace(norm.begin(), norm.end(), '\\', '/');
+  Scope s;
+
+  // The analyzer's own sources: the selfcheck gate. A lint tool whose
+  // report order depends on hash layout or wall time is as useless as a
+  // nondeterministic simulator, so D1/D2 apply; it owns real threads for
+  // the parallel index pass, so D3/D4 do not.
+  if (norm.find("tools/symlint/") != std::string::npos) {
+    s.scan = true;
+    s.d1 = true;
+    s.d2 = true;
+    return s;
+  }
+
+  const auto pos = norm.find("src/");
+  if (pos == std::string::npos) return s;
+  const std::string rel = norm.substr(pos);  // "src/..."
+  s.scan = true;
+
+  s.d1 = !(ends_with(rel, "simkit/time.hpp") || ends_with(rel, "simkit/rng.hpp"));
+  s.d2 = rel.rfind("src/symbiosys/", 0) == 0;
+  // The simkit substrate owns the real worker threads (window coordinator),
+  // so std:: threading there is the implementation, not a violation.
+  s.d3 = rel.rfind("src/simkit/", 0) != 0;
+  static const char* kLaneFiles[] = {
+      "simkit/lane.hpp",   "simkit/lane.cpp",   "simkit/window.hpp",
+      "simkit/window.cpp", "simkit/engine.hpp", "simkit/engine.cpp",
+  };
+  s.d4 = true;
+  for (const char* f : kLaneFiles) {
+    if (ends_with(rel, f)) s.d4 = false;
+  }
+  return s;
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return rule_id(a.rule) < rule_id(b.rule);
+            });
+}
+
 std::vector<Finding> lint_source(std::string_view path,
                                  std::string_view content) {
   const Scope scope = classify(path);
   if (!scope.scan) return {};
-  const Lexed lx = lex(path, content);
+  const Lexed lx = lex(content);
   Scanner scanner(path, lx, scope);
   auto findings = scanner.run();
   std::sort(findings.begin(), findings.end(),
@@ -560,7 +377,7 @@ bool lint_file(const std::string& path, std::vector<Finding>& out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     out.push_back(
-        {Rule::kAnnotation, path, 0, "cannot open file for linting"});
+        {Rule::kAnnotation, path, 0, "cannot open file for linting", {}});
     return false;
   }
   std::ostringstream buf;

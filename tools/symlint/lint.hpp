@@ -1,13 +1,15 @@
 // tools/symlint/lint.hpp
 //
-// symlint: SYMBIOSYS-specific static analysis. The project's determinism
+// symlint — SYMBIOSYS-specific static analysis. The project's determinism
 // and fiber-safety guarantees (DESIGN.md, docs/ARCHITECTURE.md) are
 // invariants of the *source*, not of any one test run — a stray wall-clock
 // read or an unordered-map walk in an export path produces subtly different
 // figures without failing a single assertion. symlint encodes those
 // invariants as machine-checked rules over src/ and runs as a ctest gate.
 //
-// Rules (see docs/STATIC_ANALYSIS.md for the full rationale):
+// The analyzer has two passes (see docs/STATIC_ANALYSIS.md):
+//
+//   pass 0 — per-TU lexical rules, this header:
 //   D1 nondeterminism   no wall-clock / libc randomness / environment reads
 //                       outside simkit/time.hpp and simkit/rng.hpp
 //   D2 unordered-iter   no range-for over std::unordered_{map,set} variables
@@ -20,15 +22,24 @@
 //                       simkit/{lane,window,engine}.* — cross-lane work goes
 //                       through the Engine::at_on mailbox API
 //
+//   pass 1+2 — cross-TU index (index.hpp) and interprocedural rules
+//   (rules.hpp):
+//   L1 lock-order            cycle in the project-wide mutex-acquisition
+//                            graph (potential deadlock), with witness path
+//   E1 shared-state-escape   mutable global/static/class-static reachable
+//                            from worker-executed code without a lane bind
+//   T1 determinism-taint     clock/rng-derived value flowing through calls
+//                            into an event timestamp
+//
 // Escape hatch: a finding is suppressed by an annotation on the same line
-// or on the line directly above:
-//   // symlint: allow(<rule>) reason=<non-empty explanation>
+// or on the line directly above — a comment carrying the symlint marker
+// followed by allow(<rule>) reason=<non-empty explanation>.
 // An allow() without a reason is itself reported (rule A0).
 //
-// The analyzer is deliberately a lexer + per-TU scanner, not an AST tool:
-// it must build dependency-free on a bare toolchain and run in
-// milliseconds over the whole tree. The matching is conservative and the
-// fixture suite (tests/lint_fixtures) pins its exact diagnostics.
+// The analyzer is deliberately lexical, not AST-based: it must build
+// dependency-free on a bare toolchain and run in milliseconds over the
+// whole tree. The matching is conservative and the fixture suite
+// (tests/lint_fixtures) pins its exact diagnostics.
 #pragma once
 
 #include <string>
@@ -43,32 +54,61 @@ enum class Rule {
   kUnorderedIter,   // D2
   kFiberBlocking,   // D3
   kLaneAffinity,    // D4
+  kLockOrder,       // L1 (cross-TU)
+  kSharedEscape,    // E1 (cross-TU)
+  kTaint,           // T1 (cross-TU)
 };
 
 /// Short rule id ("D1") and annotation name ("nondeterminism") for a rule.
 [[nodiscard]] std::string_view rule_id(Rule r) noexcept;
 [[nodiscard]] std::string_view rule_name(Rule r) noexcept;
 
+/// Inverse of rule_id(); returns false for unknown ids (cache decode).
+bool rule_from_id(std::string_view id, Rule& out) noexcept;
+
 struct Finding {
   Rule rule;
   std::string file;  ///< path as given to lint_source()
   int line = 0;      ///< 1-based
   std::string message;
+  /// Stable identity for baseline matching, independent of line drift.
+  /// Cross-TU rules set a semantic key ("cycle:a->b->c", "static:file:name");
+  /// per-TU findings use the empty key (matched by message).
+  std::string key;
 
   /// "file:line: [D1/nondeterminism] message" — the stable CLI format the
   /// fixture tests pin.
   [[nodiscard]] std::string format() const;
 };
 
-/// Lint one translation unit. `path` determines which rules apply (rules
-/// are scoped by directory, see above); `content` is the file text. The
-/// path is matched on its normalized form, so callers may pass either a
-/// repo-relative path ("src/simkit/lane.cpp") or an absolute one.
+/// Which rule families apply to a path. Per-TU rules are path-scoped (see
+/// the table in docs/STATIC_ANALYSIS.md); the cross-TU passes index every
+/// scanned file. tools/symlint itself is scanned (the selfcheck gate) under
+/// the determinism rules that make sense for a host-side tool: its *output*
+/// must be deterministic (D1, D2), but it legitimately owns threads (no D3)
+/// and has no lanes (no D4).
+struct Scope {
+  bool scan = false;  ///< file participates in analysis at all
+  bool d1 = false;
+  bool d2 = false;
+  bool d3 = false;
+  bool d4 = false;
+};
+
+[[nodiscard]] Scope classify(std::string_view path);
+
+/// Lint one translation unit with the per-TU rules. `path` determines which
+/// rules apply; `content` is the file text. The path is matched on its
+/// normalized form, so callers may pass either a repo-relative path
+/// ("src/simkit/lane.cpp") or an absolute one.
 [[nodiscard]] std::vector<Finding> lint_source(std::string_view path,
                                                std::string_view content);
 
 /// Lint a file on disk. Returns false (and appends a kAnnotation finding
 /// with the error) if the file cannot be read.
 bool lint_file(const std::string& path, std::vector<Finding>& out);
+
+/// Stable ordering used everywhere findings are emitted.
+void sort_findings(std::vector<Finding>& findings);
 
 }  // namespace symlint

@@ -1,37 +1,82 @@
 // symlint CLI. Usage:
 //
-//   symlint [--root DIR]... [FILE]...
+//   symlint [--root DIR]... [--cache-dir DIR] [--baseline FILE]
+//           [--sarif FILE] [--jobs N] [--no-cross] [--stats] [FILE]...
 //
-// Lints every .cpp/.hpp under each --root (recursively) plus any explicit
-// files, prints one diagnostic per line and exits non-zero if any finding
-// survives the allow() annotations. Run as the `symlint` ctest target over
-// src/ (see tools/symlint/CMakeLists.txt and scripts/run_lint.sh).
+// Pass 0 lints every .cpp/.hpp under each --root (recursively) plus any
+// explicit files with the per-TU rules; pass 1 builds (or refreshes) the
+// cross-TU index, cached incrementally under --cache-dir; pass 2 runs the
+// interprocedural rules (L1 lock-order, E1 shared-state-escape, T1
+// determinism-taint). Findings print one per line, optionally also as SARIF
+// 2.1.0, and are gated by the checked-in baseline. Exits 1 if any
+// unbaselined finding survives the allow() annotations, 2 on usage errors.
+// Run as the `symlint` ctest target over src/ (see tools/symlint/
+// CMakeLists.txt and scripts/run_lint.sh).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "emit.hpp"
+#include "index.hpp"
 #include "lint.hpp"
+#include "rules.hpp"
 
 namespace fs = std::filesystem;
 
+namespace {
+
+bool read_text(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+unsigned parse_jobs(const std::string& arg) {
+  unsigned v = 0;
+  for (const char c : arg) {
+    if (c < '0' || c > '9') return 0;
+    v = v * 10 + static_cast<unsigned>(c - '0');
+  }
+  return v;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::vector<std::string> roots;
+  std::string cache_dir;
+  std::string baseline_path;
+  std::string sarif_path;
+  unsigned jobs = 1;
+  bool cross = true;
+  bool stats_wanted = false;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--root") {
+    auto next = [&](const char* what) -> const char* {
       if (i + 1 >= argc) {
-        std::fprintf(stderr, "symlint: --root requires a directory\n");
-        return 2;
+        std::fprintf(stderr, "symlint: %s requires %s\n", arg.c_str(), what);
+        std::exit(2);
       }
-      const fs::path root = argv[++i];
+      return argv[++i];
+    };
+    if (arg == "--root") {
+      const fs::path root = next("a directory");
       std::error_code ec;
       if (!fs::is_directory(root, ec)) {
         std::fprintf(stderr, "symlint: not a directory: %s\n",
                      root.string().c_str());
         return 2;
       }
+      roots.push_back(root.string());
       for (const auto& entry : fs::recursive_directory_iterator(root)) {
         if (!entry.is_regular_file()) continue;
         const auto ext = entry.path().extension().string();
@@ -39,8 +84,28 @@ int main(int argc, char** argv) {
           files.push_back(entry.path().string());
         }
       }
+    } else if (arg == "--cache-dir") {
+      cache_dir = next("a directory");
+    } else if (arg == "--baseline") {
+      baseline_path = next("a file");
+    } else if (arg == "--sarif") {
+      sarif_path = next("a file");
+    } else if (arg == "--jobs") {
+      jobs = parse_jobs(next("a positive integer"));
+      if (jobs == 0) {
+        std::fprintf(stderr, "symlint: --jobs requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--no-cross") {
+      cross = false;
+    } else if (arg == "--stats") {
+      stats_wanted = true;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: symlint [--root DIR]... [FILE]...\n");
+      std::printf(
+          "usage: symlint [--root DIR]... [--cache-dir DIR] [--baseline "
+          "FILE]\n"
+          "               [--sarif FILE] [--jobs N] [--no-cross] [--stats] "
+          "[FILE]...\n");
       return 0;
     } else {
       files.push_back(arg);
@@ -51,16 +116,75 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::sort(files.begin(), files.end());  // deterministic report order
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  symlint::IndexOptions options;
+  options.cache_dir = cache_dir;
+  options.jobs = jobs;
+  options.roots = roots;
+  symlint::IndexStats stats;
+  const std::vector<symlint::TuIndex> tus =
+      symlint::run_index(files, options, &stats);
 
   std::vector<symlint::Finding> findings;
-  for (const auto& f : files) symlint::lint_file(f, findings);
+  for (const auto& tu : tus) {
+    findings.insert(findings.end(), tu.tu_findings.begin(),
+                    tu.tu_findings.end());
+  }
+  if (cross) {
+    for (auto& f : symlint::analyze_project(tus)) {
+      findings.push_back(std::move(f));
+    }
+  }
+  symlint::sort_findings(findings);
+
+  std::size_t baselined = 0;
+  std::vector<const symlint::BaselineEntry*> unused;
+  if (!baseline_path.empty()) {
+    std::string text;
+    if (!read_text(baseline_path, text)) {
+      std::fprintf(stderr, "symlint: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    symlint::Baseline baseline;
+    std::string err;
+    if (!symlint::load_baseline(text, baseline, err)) {
+      std::fprintf(stderr, "symlint: %s\n", err.c_str());
+      return 2;
+    }
+    baselined = symlint::apply_baseline(baseline, findings, &unused);
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream sarif(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!sarif) {
+      std::fprintf(stderr, "symlint: cannot write %s\n", sarif_path.c_str());
+      return 2;
+    }
+    sarif << symlint::to_sarif(findings);
+  }
 
   for (const auto& f : findings) std::printf("%s\n", f.format().c_str());
+  for (const auto* entry : unused) {
+    std::printf(
+        "symlint: stale baseline entry (matched nothing): rule=%s file=%s\n",
+        entry->rule.c_str(), entry->file.c_str());
+  }
+  if (stats_wanted) {
+    std::printf("symlint: index: %zu files, %zu cached, %zu reindexed\n",
+                stats.files, stats.cache_hits, stats.reindexed);
+  }
+
   if (!findings.empty()) {
-    std::printf("symlint: %zu finding(s) in %zu file(s) scanned\n",
+    std::printf("symlint: %zu finding(s) in %zu file(s) scanned",
                 findings.size(), files.size());
+    if (baselined != 0) std::printf(" (%zu baselined)", baselined);
+    std::printf("\n");
     return 1;
   }
-  std::printf("symlint: OK (%zu files scanned)\n", files.size());
+  std::printf("symlint: OK (%zu files scanned", files.size());
+  if (baselined != 0) std::printf(", %zu baselined", baselined);
+  std::printf(")\n");
   return 0;
 }

@@ -1,0 +1,49 @@
+// tools/symlint/rules.hpp
+//
+// Pass 2 of symlint v2: interprocedural rules over the cross-TU index.
+//
+//   L1 lock-order          Build the project-wide mutex-acquisition graph
+//                          (edge m1 -> m2 when m2 is acquired — directly or
+//                          through any resolvable call chain — while m1 is
+//                          held). Any cycle is a potential deadlock; the
+//                          finding carries a concrete witness path naming
+//                          the acquisition sites.
+//   E1 shared-state-escape Mutable globals / function-local statics /
+//                          class-statics referenced from function code
+//                          without a lane-ownership bind
+//                          (sim::debug::bind_home_lane) or an
+//                          allow(shared-state-escape) annotation. When the
+//                          referencing function is reachable from the
+//                          fiber-/worker-execution roots by name-resolvable
+//                          calls, the witness names the path; otherwise the
+//                          finding notes the conservative treatment forced
+//                          by type-erased fiber dispatch.
+//   T1 determinism-taint   A clock/rng-derived value (D1 primitive outside
+//                          simkit/time.hpp + rng.hpp) propagating through at
+//                          least one call or local assignment into a
+//                          virtual-time scheduling sink (Engine::at/after/
+//                          at_on/after_on). allow(nondeterminism) silences
+//                          D1 at the source but does NOT stop taint
+//                          propagation — that is the point of T1;
+//                          allow(determinism-taint) at the sink does.
+//
+// Mutex identity: member mutexes are qualified by their owning class
+// ("Backend::write_lock_") so same-named members of unrelated classes never
+// merge; namespace-scope mutexes merge project-wide by bare name (extern
+// globals must alias across TUs); unresolvable tokens fall back to a
+// file-local identity.
+#pragma once
+
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace symlint {
+
+/// Run L1/E1/T1 over the indexed project. `tus` must be in deterministic
+/// (sorted-path) order; findings come out sorted and carry semantic keys.
+[[nodiscard]] std::vector<Finding> analyze_project(
+    const std::vector<TuIndex>& tus);
+
+}  // namespace symlint
