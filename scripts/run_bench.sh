@@ -40,6 +40,12 @@ echo "== scaling_study =="
 # when the host has >= 4 cpus (recorded as host_cpus in the JSON).
 "$build/bench/scaling_study" $smoke_flag --out "$out/BENCH_scaling.json"
 
+echo "== cache_fairness_study =="
+# Blockcache placement A/B and fair-share policy study. Fails when a cell's
+# digests diverge across worker counts, when aligned placement stops
+# beating hash, or when size-fair stops narrowing the FIFO rate gap.
+"$build/bench/cache_fairness_study" $smoke_flag --out "$out/BENCH_cache.json"
+
 echo "== micro_benchmarks =="
 "$build/bench/micro_benchmarks" \
   --benchmark_out="$out/BENCH_micro.json" \
@@ -53,8 +59,9 @@ if [ "${SYM_BENCH_COMMIT_ROOT:-0}" = "1" ]; then
   fi
   cp "$out/BENCH_overhead.json" "$root/BENCH_overhead.json"
   cp "$out/BENCH_scaling.json" "$root/BENCH_scaling.json"
+  cp "$out/BENCH_cache.json" "$root/BENCH_cache.json"
   echo "refreshed committed trajectory files: $root/BENCH_overhead.json," \
-       "$root/BENCH_scaling.json"
+       "$root/BENCH_scaling.json, $root/BENCH_cache.json"
 fi
 
 echo

@@ -1,0 +1,200 @@
+// services/blockcache/scheduler.hpp
+//
+// ThemisIO-style fair-share request scheduling for the blockcache tier.
+// Each cache server funnels every tenant request through one FairScheduler;
+// a single dispatcher ULT pops the next request according to the active
+// policy, so the scheduler IS the arbitration point where competing tenant
+// jobs contend for the server's service capacity:
+//
+//  * kFifo      — no fairness: strict arrival order. A wide job (many
+//    client processes) keeps proportionally more requests queued and
+//    captures a proportional share of the server.
+//  * kSizeFair  — equalize *delivered bytes* across tenant jobs regardless
+//    of how many client processes each job runs: always serve the queued
+//    tenant with the fewest bytes served so far. Two tenants of very
+//    different widths converge to equal byte-rates while both are active
+//    (the property test in tests/test_blockcache.cpp pins this within 5%).
+//  * kJobFair   — width-weighted shares: serve the queued tenant with the
+//    smallest bytes_served/weight, where the weight is the job's declared
+//    width (client count). A job twice as wide earns twice the byte-rate.
+//
+// Late-arrival credit is bounded: a tenant whose queue was empty re-enters
+// with its served-bytes counter raised to at least (active minimum -
+// credit_window), so idling banks at most one window of bandwidth ("fair
+// from now on", as ThemisIO's sliding window does). The window matters: a
+// synchronous client is briefly absent from the queue between requests
+// (response in flight), and clamping that natural gap to the exact active
+// minimum would erase its deficit and degenerate size-fair into FIFO.
+//
+// The scheduler is plain lane-owned state: it is only ever touched from the
+// owning server's handler and dispatcher ULTs, never across lanes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace sym::blockcache {
+
+enum class SchedPolicy : std::uint8_t {
+  kFifo = 0,
+  kSizeFair = 1,
+  kJobFair = 2,
+};
+
+[[nodiscard]] constexpr const char* to_string(SchedPolicy p) noexcept {
+  switch (p) {
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kSizeFair: return "size-fair";
+    case SchedPolicy::kJobFair: return "job-fair";
+  }
+  return "?";
+}
+
+/// Per-tenant fair queueing over an opaque request payload T.
+template <typename T>
+class FairScheduler {
+ public:
+  explicit FairScheduler(SchedPolicy policy = SchedPolicy::kFifo)
+      : policy_(policy) {}
+
+  void set_policy(SchedPolicy p) noexcept { policy_ = p; }
+  [[nodiscard]] SchedPolicy policy() const noexcept { return policy_; }
+
+  /// Bound on the deficit an idle tenant may bank (bytes); see file header.
+  void set_credit_window(std::uint64_t bytes) noexcept {
+    credit_window_ = bytes;
+  }
+  [[nodiscard]] std::uint64_t credit_window() const noexcept {
+    return credit_window_;
+  }
+
+  /// Queue one request. `cost_bytes` is the request's service demand, the
+  /// unit the fairness policies account in; `weight` is the tenant job's
+  /// width (only meaningful under kJobFair, latest value wins).
+  void enqueue(std::uint32_t tenant, std::uint32_t weight,
+               std::uint64_t cost_bytes, T item) {
+    Tenant& t = tenants_[tenant];
+    t.weight = weight == 0 ? 1 : weight;
+    if (t.queue.empty()) {
+      // Re-activation: forfeit credit banked beyond one window while idle.
+      const std::uint64_t active_min = min_active_bytes();
+      const std::uint64_t floor =
+          active_min > credit_window_ ? active_min - credit_window_ : 0;
+      if (t.bytes_served < floor) t.bytes_served = floor;
+    }
+    t.queue.push_back(Entry{next_seq_++, cost_bytes, std::move(item)});
+    ++depth_;
+  }
+
+  /// Pop the next request per the active policy; nullopt when idle. The
+  /// popped request's cost is charged to its tenant's served-bytes counter.
+  std::optional<T> pop_next() {
+    if (depth_ == 0) return std::nullopt;
+    auto pick = tenants_.end();
+    for (auto it = tenants_.begin(); it != tenants_.end(); ++it) {
+      if (it->second.queue.empty()) continue;
+      if (pick == tenants_.end() || prefer(it, pick)) pick = it;
+    }
+    Tenant& t = pick->second;
+    Entry e = std::move(t.queue.front());
+    t.queue.pop_front();
+    --depth_;
+    t.bytes_served += e.cost_bytes;
+    total_served_ += e.cost_bytes;
+    return std::move(e.item);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return depth_ == 0; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  [[nodiscard]] std::size_t depth_of(std::uint32_t tenant) const {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.queue.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_served(std::uint32_t tenant) const {
+    const auto it = tenants_.find(tenant);
+    return it == tenants_.end() ? 0 : it->second.bytes_served;
+  }
+  /// Fraction of all served bytes that went to `tenant` (0 when nothing
+  /// has been served yet) — the per-tenant service-share PVAR.
+  [[nodiscard]] double service_share(std::uint32_t tenant) const {
+    if (total_served_ == 0) return 0.0;
+    return static_cast<double>(bytes_served(tenant)) /
+           static_cast<double>(total_served_);
+  }
+  [[nodiscard]] std::uint64_t total_served() const noexcept {
+    return total_served_;
+  }
+  /// Tenants ever seen (active or drained).
+  [[nodiscard]] std::size_t tenant_count() const noexcept {
+    return tenants_.size();
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t seq = 0;
+    std::uint64_t cost_bytes = 0;
+    T item;
+  };
+  struct Tenant {
+    std::deque<Entry> queue;
+    std::uint32_t weight = 1;
+    std::uint64_t bytes_served = 0;
+  };
+  using Iter = typename std::map<std::uint32_t, Tenant>::iterator;
+
+  /// Strict-weak preference of candidate `a` over incumbent `b` under the
+  /// active policy. Ties break on the older head-of-queue request, so the
+  /// choice is deterministic and starvation-free.
+  [[nodiscard]] bool prefer(Iter a, Iter b) const {
+    const Tenant& ta = a->second;
+    const Tenant& tb = b->second;
+    switch (policy_) {
+      case SchedPolicy::kFifo:
+        return ta.queue.front().seq < tb.queue.front().seq;
+      case SchedPolicy::kSizeFair:
+        if (ta.bytes_served != tb.bytes_served) {
+          return ta.bytes_served < tb.bytes_served;
+        }
+        break;
+      case SchedPolicy::kJobFair: {
+        // Compare bytes/weight without FP: a.bytes*b.w vs b.bytes*a.w.
+        const auto va = ta.bytes_served * tb.weight;
+        const auto vb = tb.bytes_served * ta.weight;
+        if (va != vb) return va < vb;
+        break;
+      }
+    }
+    return ta.queue.front().seq < tb.queue.front().seq;
+  }
+
+  [[nodiscard]] std::uint64_t min_active_bytes() const {
+    std::uint64_t m = 0;
+    bool any = false;
+    for (const auto& [id, t] : tenants_) {
+      if (t.queue.empty()) continue;
+      if (!any || t.bytes_served < m) m = t.bytes_served;
+      any = true;
+    }
+    return any ? m : total_served_ == 0 ? 0 : min_all_bytes();
+  }
+  [[nodiscard]] std::uint64_t min_all_bytes() const {
+    std::uint64_t m = ~0ULL;
+    for (const auto& [id, t] : tenants_) {
+      if (t.bytes_served < m) m = t.bytes_served;
+    }
+    return m == ~0ULL ? 0 : m;
+  }
+
+  SchedPolicy policy_;
+  std::uint64_t credit_window_ = 1 << 20;
+  std::map<std::uint32_t, Tenant> tenants_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t depth_ = 0;
+  std::uint64_t total_served_ = 0;
+};
+
+}  // namespace sym::blockcache

@@ -1,0 +1,153 @@
+// workloads/cache_world.hpp
+//
+// Deployment harness for the blockcache tier: one BAKE backend node, a row
+// of per-node cache servers fronting it, and a set of tenant jobs — each a
+// group of client processes of a declared width — issuing block reads and
+// writes through the cache. The harness reproduces the two scenario
+// families the cache tier exists to study:
+//
+//  * placement A/B (hash vs. locality-aligned) with sequential readers,
+//    where aligned placement lets the servers' sequential-miss readahead
+//    batch backend reads (bbThemis's OST-alignment effect);
+//  * multi-tenant fairness (FIFO vs. size-fair vs. job-fair) where jobs of
+//    unequal widths compete for the same cache servers and per-tenant
+//    completion times expose the delivered byte-rates.
+//
+// Used by tests/test_blockcache.cpp and bench/cache_fairness_study.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "margolite/instance.hpp"
+#include "margolite/policy.hpp"
+#include "services/bake/bake.hpp"
+#include "services/blockcache/blockcache.hpp"
+#include "simkit/cluster.hpp"
+#include "simkit/engine.hpp"
+#include "sofi/fabric.hpp"
+
+namespace sym::workloads {
+
+/// What one tenant job's clients do with their private block ranges.
+enum class CachePattern : std::uint8_t {
+  kSeqRead,        ///< `passes` sequential read passes (cold first pass)
+  kSeqWrite,       ///< one sequential write pass + flush
+  kWriteThenRead,  ///< write pass + flush, then `passes` read passes
+};
+
+/// One tenant job: `width` client processes, each owning a private range of
+/// `blocks_per_client` consecutive blocks of the tenant's object.
+struct TenantSpec {
+  std::uint32_t width = 1;
+  std::uint32_t blocks_per_client = 64;
+  std::uint32_t passes = 1;
+  CachePattern pattern = CachePattern::kSeqRead;
+  /// Write granularity in blocks (small writes that the cache's write-back
+  /// buffering coalesces into large backend writes).
+  std::uint32_t write_op_blocks = 1;
+};
+
+class CacheWorld {
+ public:
+  struct Params {
+    std::uint32_t cache_servers = 2;
+    /// Per-server cache configuration; `backend` is filled by the world.
+    blockcache::ProviderConfig cache{};
+    blockcache::Placement placement = blockcache::Placement::kHash;
+    std::uint32_t stripe_blocks = blockcache::kDefaultStripeBlocks;
+    std::vector<TenantSpec> tenants;
+    /// Attach a PolicyEngine with Provider::capacity_autoscale to every
+    /// cache server (the second actuator surface under closed-loop control).
+    bool autoscale = false;
+    std::uint32_t clients_per_node = 4;
+    prof::Level instr = prof::Level::kFull;
+    std::uint64_t seed = 42;
+    sim::EngineConfig exec{};
+  };
+
+  explicit CacheWorld(Params params);
+  ~CacheWorld();
+  CacheWorld(const CacheWorld&) = delete;
+  CacheWorld& operator=(const CacheWorld&) = delete;
+
+  /// Run every tenant client to completion and shut down.
+  void run();
+
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+  [[nodiscard]] sim::Engine& engine() noexcept { return eng_; }
+
+  [[nodiscard]] std::size_t server_count() const noexcept {
+    return cache_servers_.size();
+  }
+  [[nodiscard]] blockcache::Provider& cache_provider(std::size_t i) {
+    return *providers_.at(i);
+  }
+  [[nodiscard]] margo::Instance& cache_instance(std::size_t i) {
+    return *cache_servers_.at(i);
+  }
+  [[nodiscard]] margo::Instance& backend_instance() { return *backend_; }
+  [[nodiscard]] bake::Provider& backend_provider() { return *bake_; }
+  [[nodiscard]] std::size_t client_count() const noexcept {
+    return clients_.size();
+  }
+  [[nodiscard]] margo::Instance& client_instance(std::size_t i) {
+    return *clients_.at(i);
+  }
+
+  /// Virtual time at which tenant `t`'s slowest client finished.
+  [[nodiscard]] sim::TimeNs tenant_completion(std::size_t t) const {
+    return tenant_done_.at(t);
+  }
+  /// Total bytes tenant `t` moved through the cache tier (reads + writes).
+  [[nodiscard]] std::uint64_t tenant_bytes(std::size_t t) const;
+  /// Delivered byte-rate of tenant `t` in bytes per virtual second.
+  [[nodiscard]] double tenant_byte_rate(std::size_t t) const;
+  /// Latest tenant completion (the measured makespan).
+  [[nodiscard]] sim::TimeNs makespan() const noexcept;
+
+  /// Read-your-writes verification: bytes that came back wrong on read
+  /// passes of kWriteThenRead tenants (0 = every read returned the data the
+  /// tenant wrote, through any combination of hits, evictions, write-back
+  /// and backend refetch).
+  [[nodiscard]] std::uint64_t data_mismatches() const;
+
+  // Aggregates over every cache server (scenario-level counters).
+  [[nodiscard]] std::uint64_t total_hits() const;
+  [[nodiscard]] std::uint64_t total_misses() const;
+  [[nodiscard]] std::uint64_t total_backend_reads() const;
+  [[nodiscard]] std::uint64_t total_backend_read_bytes() const;
+  [[nodiscard]] std::uint64_t total_writeback_ops() const;
+  [[nodiscard]] std::uint64_t total_writeback_bytes() const;
+  [[nodiscard]] std::uint64_t total_evictions() const;
+
+  [[nodiscard]] std::vector<const prof::ProfileStore*> all_profiles() const;
+  [[nodiscard]] std::vector<const prof::TraceStore*> all_traces() const;
+
+ private:
+  void client_loop(std::size_t client_index, std::size_t tenant,
+                   std::uint32_t member, blockcache::Client& bc);
+
+  Params params_;
+  sim::Engine eng_;
+  std::unique_ptr<sim::Cluster> cluster_;
+  std::unique_ptr<ofi::Fabric> fabric_;
+  std::unique_ptr<margo::Instance> backend_;
+  std::unique_ptr<bake::Provider> bake_;
+  std::vector<std::unique_ptr<margo::Instance>> cache_servers_;
+  std::vector<std::unique_ptr<blockcache::Provider>> providers_;
+  std::vector<std::unique_ptr<margo::PolicyEngine>> policies_;
+  std::vector<std::unique_ptr<margo::Instance>> clients_;
+  std::vector<std::unique_ptr<blockcache::Client>> bclients_;
+  /// (tenant, member-within-tenant) of clients_[i].
+  std::vector<std::pair<std::size_t, std::uint32_t>> client_tenant_;
+  /// Per-client mismatch counts: slot i is written only by client i's ULT
+  /// (its own lane), read from the main thread after run().
+  std::vector<std::uint64_t> client_mismatch_;
+  std::vector<sim::TimeNs> tenant_done_;
+  blockcache::View view_;
+  bool ran_ = false;
+};
+
+}  // namespace sym::workloads
