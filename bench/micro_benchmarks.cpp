@@ -65,6 +65,73 @@ static void BM_RngNext(benchmark::State& state) {
 }
 BENCHMARK(BM_RngNext);
 
+// Windowed execution with a ring of cross-lane posts: every lane keeps one
+// chain hopping to its neighbor, so each window has exactly `lanes` live
+// (dst, src) mailbox pairs out of lanes^2 possible. Items processed counts
+// the pairs the sparse merge actually visited — the dense sweep this
+// replaced would have visited lanes^2 per window regardless.
+static void BM_WindowMerge(benchmark::State& state) {
+  const auto lanes = static_cast<std::uint32_t>(state.range(0));
+  std::uint64_t pairs = 0;
+  std::uint64_t windows = 0;
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.lane_count = lanes;
+    cfg.worker_count = 1;
+    cfg.lookahead = sim::usec(2);
+    sim::Engine eng(7, cfg);
+    struct Chain {
+      sim::Engine* eng;
+      std::uint32_t lanes;
+      void hop(std::uint32_t lane, int remaining) {
+        if (remaining == 0) return;
+        const std::uint32_t next = (lane + 1) % lanes;
+        eng->after_on(next, eng->lookahead_to(next),
+                      [this, next, remaining] { hop(next, remaining - 1); });
+      }
+    };
+    Chain chain{&eng, lanes};
+    for (std::uint32_t l = 0; l < lanes; ++l) {
+      eng.at_on(l, 1, [&chain, l] { chain.hop(l, 32); });
+    }
+    eng.run();
+    pairs += eng.merge_pairs_visited();
+    windows += eng.windows_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(pairs));
+  state.counters["pairs_per_window"] =
+      windows == 0 ? 0.0
+                   : static_cast<double>(pairs) / static_cast<double>(windows);
+}
+BENCHMARK(BM_WindowMerge)->Arg(8)->Arg(64);
+
+// One-time cost of deriving the per-lane-pair lookahead matrix from link
+// topology at Cluster construction: the O(nodes^2) latency scan plus the
+// O(lanes^3) Floyd-Warshall closure and round-trip fold.
+static void BM_LookaheadMatrix(benchmark::State& state) {
+  const auto nodes = static_cast<std::uint32_t>(state.range(0));
+  sim::ClusterParams cp;
+  cp.node_count = nodes;
+  cp.max_clock_skew = 0;
+  // Plant a sparse set of slow links so the override index and the
+  // shortest-path relaxation both do real work.
+  for (sim::NodeId a = 0; a < nodes; a += 4) {
+    for (sim::NodeId b = a + 1; b < nodes; b += 4) {
+      cp.link_overrides.push_back({a, b, sim::usec(100)});
+    }
+  }
+  for (auto _ : state) {
+    sim::EngineConfig cfg;
+    cfg.lane_count = 0;  // one lane per node
+    sim::Engine eng(7, cfg);
+    sim::Cluster cluster(eng, cp);
+    benchmark::DoNotOptimize(eng.lookahead(0, nodes - 1));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(nodes) * nodes);
+}
+BENCHMARK(BM_LookaheadMatrix)->Arg(16)->Arg(64);
+
 // ---------------------------------------------------------------------------
 // SYMBIOSYS instrumentation primitives
 // ---------------------------------------------------------------------------

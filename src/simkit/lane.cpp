@@ -99,6 +99,7 @@ std::uint64_t Lane::schedule(TimeNs t, Callback cb) {
   slots_[idx].cb = std::move(cb);
   heap_push(HeapEntry{t, next_seq_++, idx});
   ++pending_;
+  next_dirty_ = true;
   return (static_cast<std::uint64_t>(slots_[idx].generation & 0x0FFFFFFFu)
           << 28) |
          idx;
@@ -117,11 +118,13 @@ bool Lane::cancel(std::uint32_t slot, std::uint32_t generation) {
   s.cancelled = true;
   s.cb = nullptr;  // free captured state eagerly
   --pending_;
+  next_dirty_ = true;
   return true;
 }
 
 void Lane::post_remote(std::uint32_t dst, TimeNs t, Callback cb) {
   assert(dst < outbox_.size());
+  if (outbox_[dst].empty()) dirty_dst_.push_back(dst);
   outbox_[dst].push_back(RemoteEvent{t, std::move(cb)});
 }
 
@@ -141,6 +144,7 @@ bool Lane::pop_and_run() {
     now_ = top.t;
     ++processed_;
     --pending_;
+    next_dirty_ = true;
 #if SYM_DEBUG_CHECKS
     // Fold (timestamp, FIFO seq) of every executed event into the rolling
     // per-lane digest; identical schedules => identical digests.
@@ -180,7 +184,14 @@ bool Lane::peek_next(TimeNs& t) {
 
 void Lane::absorb_outbox_from(Lane& src) {
   auto& box = src.outbox_[index_];
-  for (auto& ev : box) schedule(ev.t, std::move(ev.cb));
+  for (auto& ev : box) {
+    // A merged event below this lane's clock means a speculative window
+    // extension lost its bet: schedule() clamps it to now(), which is
+    // deterministic (merge times depend only on simulation state) but
+    // perturbs the modeled delivery time — count it so benches can report.
+    if (ev.t < now_) ++causality_clamps_;
+    schedule(ev.t, std::move(ev.cb));
+  }
   box.clear();
 }
 

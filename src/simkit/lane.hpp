@@ -62,8 +62,38 @@ class Lane {
 
   /// Append a cross-lane event to this (source) lane's outbox for `dst`.
   /// Delivered — with a sequence number assigned deterministically — when
-  /// the coordinator merges outboxes at the next window barrier.
+  /// the coordinator merges outboxes at the next window barrier. The first
+  /// post to a given destination since the last merge registers the pair in
+  /// dirty_outboxes(), so the merge sweep can walk only live pairs.
   void post_remote(std::uint32_t dst, TimeNs t, Callback cb);
+
+  /// Destination lanes this lane has posted to since the last merge, in
+  /// first-post order (each destination listed once). The coordinator sorts
+  /// the union of these lists into canonical (dst, src) order, absorbs
+  /// exactly those pairs, and calls clear_dirty_outboxes().
+  [[nodiscard]] const std::vector<std::uint32_t>& dirty_outboxes()
+      const noexcept {
+    return dirty_dst_;
+  }
+  void clear_dirty_outboxes() noexcept { dirty_dst_.clear(); }
+
+  /// Next-event cache invalidation handshake with the engine's incremental
+  /// next-event index: any mutation that can move the heap top (schedule,
+  /// cancel, pop) sets the flag; the engine consumes it when it refreshes
+  /// the cached next-event time for this lane. Only touched by the thread
+  /// currently owning the lane (or the coordinator between windows).
+  [[nodiscard]] bool take_next_dirty() noexcept {
+    const bool d = next_dirty_;
+    next_dirty_ = false;
+    return d;
+  }
+
+  /// Count of merged cross-lane events that arrived with a timestamp below
+  /// this lane's clock (possible only under speculative quiet-window
+  /// extension; such events are clamped to now(), deterministically).
+  [[nodiscard]] std::uint64_t causality_clamps() const noexcept {
+    return causality_clamps_;
+  }
 
   /// Execute the single earliest event. Returns false if the lane is empty.
   bool pop_and_run();
@@ -124,12 +154,15 @@ class Lane {
   std::uint64_t digest_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::uint64_t causality_clamps_ = 0;
   std::size_t pending_ = 0;
+  bool next_dirty_ = true;
   std::vector<HeapEntry> heap_;
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNoFreeSlot;
   Rng rng_;
   std::vector<std::vector<RemoteEvent>> outbox_;  ///< one per destination lane
+  std::vector<std::uint32_t> dirty_dst_;  ///< destinations with pending posts
 };
 
 }  // namespace sym::sim

@@ -16,6 +16,10 @@ using TimeNs = std::uint64_t;
 /// A span of virtual time, in nanoseconds.
 using DurationNs = std::uint64_t;
 
+/// Sentinel for "no event" / "unbounded": the far end of virtual time.
+/// Arithmetic near it must saturate rather than wrap.
+constexpr TimeNs kTimeNever = ~TimeNs{0};
+
 /// Convenience constructors for durations. These are plain constexpr
 /// functions (not user-defined literals) so call sites read naturally in
 /// configuration tables: `usec(15)`, `msec(2)`.

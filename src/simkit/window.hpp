@@ -2,14 +2,22 @@
 //
 // Worker pool and barrier protocol for the sharded engine's conservative
 // safe-window execution. One coordinator (the thread that called
-// Engine::run) decides window boundaries; `worker_count` threads execute
-// the lanes of each window concurrently (lane i is pinned to worker
-// i % worker_count for the lifetime of the pool, so every fiber resumes on
-// the thread that suspended it); the coordinator then merges the cross-lane
-// mailboxes single-threaded, in (dst, src, append) order, which makes the
-// post-window schedule independent of execution timing. With worker_count
-// == 1 no threads are spawned and the coordinator runs the lanes itself in
-// lane order — producing bit-identical results, just without overlap.
+// Engine::run) decides per-lane window boundaries; `worker_count` threads
+// execute the lanes of each window concurrently, each walking its slice of
+// a persistent lane->worker assignment. The assignment starts as the
+// static stride (lane i on worker i % worker_count) and is rebalanced
+// between windows from per-lane executed-event counts (LPT greedy), so a
+// few hot lanes stop serializing a window behind one worker. Rebalancing
+// moves fibers between OS threads; fiber.cpp explicitly supports resuming
+// a fiber on a different thread than suspended it (the sanitizer context
+// is re-fetched on every entry). The coordinator then merges the
+// cross-lane mailboxes single-threaded, walking only the (dst, src) pairs
+// registered dirty by an actual post, in canonical (dst, src, append)
+// order — the same relative order the historical dense lanes^2 sweep gave
+// the nonempty pairs, so the post-window schedule is independent of both
+// execution timing and the assignment. With worker_count == 1 no threads
+// are spawned and the coordinator runs the lanes itself in lane order —
+// producing bit-identical results, just without overlap.
 #pragma once
 
 #include <atomic>
@@ -31,23 +39,54 @@ class WindowCoordinator {
   WindowCoordinator(const WindowCoordinator&) = delete;
   WindowCoordinator& operator=(const WindowCoordinator&) = delete;
 
-  /// Run every lane up to (exclusive) `end`, then merge the cross-lane
-  /// mailboxes. Returns once the whole window — execution and merge — is
-  /// complete.
-  void execute_window(TimeNs end);
+  /// Run every lane up to (exclusive) its entry in `ends` (indexed by lane,
+  /// `lane_count` entries, owned by the caller and stable for the duration
+  /// of the call), then merge the dirty cross-lane mailboxes and, on
+  /// schedule, rebalance the lane->worker assignment. Returns once the
+  /// whole window is complete.
+  void execute_window(const TimeNs* ends);
+
+  /// (dst, src) mailbox pairs absorbed by the last merge sweep.
+  [[nodiscard]] std::uint64_t last_merge_pairs() const noexcept {
+    return last_merge_pairs_;
+  }
+  /// (dst, src) pairs the lanes registered dirty during the last window.
+  /// The sweep visits exactly the registered pairs, so this must equal
+  /// last_merge_pairs(); the scaling bench gates on the totals staying
+  /// equal.
+  [[nodiscard]] std::uint64_t last_dirty_pairs() const noexcept {
+    return last_dirty_pairs_;
+  }
 
  private:
   void worker_main(std::uint32_t worker);
-  /// Execute the lanes statically assigned to `worker` for this window.
-  void run_lanes_of(std::uint32_t worker, TimeNs end);
+  /// Execute the lanes currently assigned to `worker`.
+  void run_lanes_of(std::uint32_t worker, const TimeNs* ends);
   void merge();
+  /// Every config.rebalance_period windows, re-pack lanes onto workers by
+  /// descending executed-event delta (LPT greedy, ties by lane index then
+  /// worker index). Inputs are simulation state only, so the assignment is
+  /// deterministic — and it never affects results, only which thread runs
+  /// which (causally independent) lane.
+  void maybe_rebalance();
 
   Engine& engine_;
   std::uint32_t workers_;
-  std::atomic<TimeNs> window_end_{0};
+  std::atomic<const TimeNs*> window_ends_{nullptr};
   std::atomic<bool> done_{false};
   std::barrier<> sync_;
   std::vector<std::thread> threads_;
+
+  /// Persistent lane->worker assignment: worker_lanes_[w] holds the lane
+  /// indices worker w executes, each list sorted ascending.
+  std::vector<std::vector<std::uint32_t>> worker_lanes_;
+  std::vector<std::uint64_t> rebalance_baseline_;  ///< processed() snapshot
+  std::uint32_t windows_since_rebalance_ = 0;
+
+  /// Merge scratch: (dst, src) pairs collected from the lanes' dirty lists.
+  std::vector<std::uint64_t> merge_pairs_;
+  std::uint64_t last_merge_pairs_ = 0;
+  std::uint64_t last_dirty_pairs_ = 0;
 };
 
 }  // namespace sym::sim

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "simkit/cluster.hpp"
 #include "simkit/engine.hpp"
 #include "symbiosys/analysis.hpp"
 #include "symbiosys/zipkin.hpp"
@@ -227,6 +228,172 @@ TEST(ParallelWorkloads, HepnosBitIdenticalAcrossWorkerCounts) {
         << "workers=" << workers;
     EXPECT_EQ(got.final_now, baseline.final_now) << "workers=" << workers;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Window-protocol features: lookahead matrix, quiet extension, topology
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 16-node HEPnOS deployment (4 server nodes + 12 client nodes, one lane
+/// per node) with the window-protocol knobs under test made explicit.
+WorkloadDigest run_hepnos16(std::uint32_t workers, bool matrix,
+                            std::uint32_t quiet_cap) {
+  HepnosWorld::Params p;
+  p.config.total_clients = 12;
+  p.config.clients_per_node = 1;
+  p.config.total_servers = 8;
+  p.config.servers_per_node = 2;
+  p.file_model.events_per_file = 24;
+  p.file_model.payload_bytes = 96;
+  p.files_per_client = 1;
+  p.exec.lane_count = 0;  // auto: one lane per node
+  p.exec.worker_count = workers;
+  p.exec.matrix_lookahead = matrix;
+  p.exec.quiet_extension_cap = quiet_cap;
+  HepnosWorld world(p);
+  world.run();
+  return digest_of(world);
+}
+
+}  // namespace
+
+// Every protocol configuration — matrix lookahead and quiet-window
+// extension independently on/off — must stay bit-identical for any worker
+// count (different configs are different experiments and may legitimately
+// differ from each other; each must agree with itself).
+TEST(WindowProtocol, HepnosBitIdenticalAcrossWorkersForEveryProtocolConfig) {
+  struct ProtocolConfig {
+    bool matrix;
+    std::uint32_t cap;
+  };
+  const ProtocolConfig configs[] = {{true, 8}, {true, 1}, {false, 8},
+                                    {false, 1}};
+  for (const auto& c : configs) {
+    const WorkloadDigest baseline = run_hepnos16(1, c.matrix, c.cap);
+    EXPECT_FALSE(baseline.zipkin.empty());
+    EXPECT_GT(baseline.events_processed, 0u);
+    for (const auto workers : {2u, 4u, 8u, 16u}) {
+      const WorkloadDigest got = run_hepnos16(workers, c.matrix, c.cap);
+      EXPECT_EQ(got.zipkin, baseline.zipkin)
+          << "workers=" << workers << " matrix=" << c.matrix
+          << " cap=" << c.cap;
+      EXPECT_EQ(got.profile, baseline.profile)
+          << "workers=" << workers << " matrix=" << c.matrix
+          << " cap=" << c.cap;
+      EXPECT_EQ(got.events_processed, baseline.events_processed)
+          << "workers=" << workers << " matrix=" << c.matrix
+          << " cap=" << c.cap;
+      EXPECT_EQ(got.final_now, baseline.final_now)
+          << "workers=" << workers << " matrix=" << c.matrix
+          << " cap=" << c.cap;
+    }
+  }
+}
+
+TEST(WindowProtocol, ClusterInstallsLinkDerivedLookaheadMatrix) {
+  sim::EngineConfig cfg;
+  cfg.lane_count = 0;
+  sim::Engine eng(7, cfg);
+  sim::ClusterParams cp;
+  cp.node_count = 3;
+  cp.max_clock_skew = 0;
+  cp.link_overrides.push_back({1, 2, sim::usec(40)});
+  sim::Cluster cluster(eng, cp);
+  EXPECT_EQ(eng.lookahead(0, 1), cp.inter_node_latency);
+  EXPECT_EQ(eng.lookahead(1, 2), sim::usec(40));  // override, both ways
+  EXPECT_EQ(eng.lookahead(2, 1), sim::usec(40));
+  // Scalar floor = off-diagonal minimum; lookahead_to from main context
+  // reads lane 0's row.
+  EXPECT_EQ(eng.lookahead(), cp.inter_node_latency);
+  EXPECT_EQ(eng.lookahead_to(1), cp.inter_node_latency);
+}
+
+namespace {
+
+/// Four nodes, one lane each, each running an independent local tick chain
+/// (no cross-lane traffic at all), bounded at 1 ms of virtual time. The
+/// simulation itself is identical whatever the topology; only the window
+/// schedule may differ.
+std::pair<std::uint64_t, std::uint64_t> run_local_ticks(
+    std::uint32_t quiet_cap, bool slow_links) {
+  sim::EngineConfig cfg;
+  cfg.lane_count = 0;  // one lane per node
+  cfg.worker_count = 1;
+  cfg.quiet_extension_cap = quiet_cap;
+  sim::Engine eng(7, cfg);
+  sim::ClusterParams cp;
+  cp.node_count = 4;
+  cp.max_clock_skew = 0;
+  if (slow_links) {
+    for (sim::NodeId a = 0; a < 4; ++a) {
+      for (sim::NodeId b = a + 1; b < 4; ++b) {
+        cp.link_overrides.push_back({a, b, sim::usec(100)});
+      }
+    }
+  }
+  sim::Cluster cluster(eng, cp);
+  std::function<void()> ticks[4];
+  for (std::uint32_t lane = 0; lane < 4; ++lane) {
+    ticks[lane] = [&eng, &ticks, lane] {
+      eng.after(sim::usec(10), ticks[lane]);
+    };
+    eng.at_on(lane, 0, ticks[lane]);
+  }
+  eng.run_until(sim::msec(1));
+  return {eng.windows_executed(), eng.events_processed()};
+}
+
+}  // namespace
+
+// Planted slow-link topology: when every lane pair is 100 us apart instead
+// of the default 2 us, the per-lane window bounds derived from the matrix
+// must lengthen accordingly — far fewer windows for the same event load.
+TEST(WindowProtocol, DistantLanePairsEarnWiderWindows) {
+  const auto [near_windows, near_events] =
+      run_local_ticks(/*quiet_cap=*/1, /*slow_links=*/false);
+  const auto [far_windows, far_events] =
+      run_local_ticks(/*quiet_cap=*/1, /*slow_links=*/true);
+  EXPECT_EQ(near_events, far_events);  // same simulation either way
+  EXPECT_GT(near_events, 300u);
+  EXPECT_GE(near_windows, 5 * far_windows)
+      << "near=" << near_windows << " far=" << far_windows;
+}
+
+// Quiet-window extension: with no cross-lane traffic every window is
+// quiet, so the extension factor climbs to the cap and windows stretch —
+// without a single causality clamp (the bet never loses here) and without
+// changing the executed events.
+TEST(WindowProtocol, QuietWindowExtensionStretchesIdleWindows) {
+  const auto [plain_windows, plain_events] =
+      run_local_ticks(/*quiet_cap=*/1, /*slow_links=*/false);
+  sim::EngineConfig cfg;
+  cfg.lane_count = 0;
+  cfg.worker_count = 1;
+  cfg.quiet_extension_cap = 8;
+  sim::Engine eng(7, cfg);
+  sim::ClusterParams cp;
+  cp.node_count = 4;
+  cp.max_clock_skew = 0;
+  sim::Cluster cluster(eng, cp);
+  std::function<void()> ticks[4];
+  for (std::uint32_t lane = 0; lane < 4; ++lane) {
+    ticks[lane] = [&eng, &ticks, lane] {
+      eng.after(sim::usec(10), ticks[lane]);
+    };
+    eng.at_on(lane, 0, ticks[lane]);
+  }
+  eng.run_until(sim::msec(1));
+  EXPECT_EQ(eng.events_processed(), plain_events);
+  EXPECT_LT(eng.windows_executed(), plain_windows);
+  EXPECT_GT(eng.quiet_extended_windows(), 0u);
+  EXPECT_EQ(eng.causality_clamps(), 0u);
+  EXPECT_EQ(plain_windows, [] {
+    // Re-running the cap=1 config must reproduce its window count exactly:
+    // the schedule depends only on simulation state.
+    return run_local_ticks(1, false).first;
+  }());
 }
 
 TEST(ParallelWorkloads, HepnosShardedStoresAllEvents) {
