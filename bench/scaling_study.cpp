@@ -37,6 +37,8 @@
 //
 // Results land in BENCH_scaling.json (override with --out PATH). --smoke
 // shrinks node counts and event volumes for CI.
+#include <sys/resource.h>
+
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -67,6 +69,9 @@ struct Cell {
   std::uint64_t quiet_windows = 0; ///< windows stretched by quiet extension
   std::uint64_t clamps = 0;        ///< events clamped by a lost extension bet
   std::uint64_t digest = 0;        ///< event digest (0 unless SYM_DEBUG_CHECKS)
+  std::uint64_t allocations = 0;   ///< arena growths + SmallFn heap spills
+  double alloc_per_event = 0;      ///< allocations / events_processed
+  std::uint64_t peak_rss = 0;      ///< ru_maxrss after the cell (monotonic)
   double speedup_vs_1w = 0;
 };
 
@@ -138,6 +143,14 @@ Cell run_cell(std::uint32_t nodes, std::uint32_t workers, bool smoke,
   c.quiet_windows = world.engine().quiet_extended_windows();
   c.clamps = world.engine().causality_clamps();
   c.digest = world.engine().event_digest();
+  c.allocations = world.engine().arena_stats().allocations();
+  c.alloc_per_event =
+      c.events_processed > 0
+          ? static_cast<double>(c.allocations) / c.events_processed
+          : 0;
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  c.peak_rss = static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
   return c;
 }
 
@@ -162,7 +175,7 @@ void write_json(const std::string& path, bool smoke, unsigned host_cpus,
       << "  \"cells\": [\n";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const auto& c = cells[i];
-    char buf[512];
+    char buf[768];
     std::snprintf(
         buf, sizeof(buf),
         "    {\"nodes\": %u, \"lanes\": %u, \"workers\": %u, "
@@ -170,6 +183,8 @@ void write_json(const std::string& path, bool smoke, unsigned host_cpus,
         "\"events_processed\": %llu, \"events_stored\": %llu, "
         "\"windows\": %llu, \"merge_pairs\": %llu, \"dirty_pairs\": %llu, "
         "\"quiet_windows\": %llu, \"causality_clamps\": %llu, "
+        "\"allocations\": %llu, \"alloc_per_event\": %.6f, "
+        "\"peak_rss_bytes\": %llu, "
         "\"speedup_vs_1w\": %.3f}%s\n",
         c.nodes, c.lanes, c.workers, c.legacy ? "legacy" : "matrix",
         c.virtual_ms, c.wall_ms,
@@ -179,7 +194,9 @@ void write_json(const std::string& path, bool smoke, unsigned host_cpus,
         static_cast<unsigned long long>(c.merge_pairs),
         static_cast<unsigned long long>(c.dirty_pairs),
         static_cast<unsigned long long>(c.quiet_windows),
-        static_cast<unsigned long long>(c.clamps), c.speedup_vs_1w,
+        static_cast<unsigned long long>(c.clamps),
+        static_cast<unsigned long long>(c.allocations), c.alloc_per_event,
+        static_cast<unsigned long long>(c.peak_rss), c.speedup_vs_1w,
         i + 1 < cells.size() ? "," : "");
     out << buf;
   }

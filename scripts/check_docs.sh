@@ -74,7 +74,7 @@ for b in $(sed -n 's/^sym_add_bench(\([a-z0-9_]*\) .*/\1/p' bench/CMakeLists.txt
 done
 
 # --- 3. test targets must be mentioned somewhere in the docs -------------
-docs="README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/ARCHITECTURE.md docs/PVARS.md docs/SERVICES.md docs/STATIC_ANALYSIS.md"
+docs="README.md EXPERIMENTS.md DESIGN.md ROADMAP.md docs/ARCHITECTURE.md docs/PVARS.md docs/SERVICES.md docs/STATIC_ANALYSIS.md docs/SCENARIOS.md"
 for t in $(sed -n 's/^sym_add_test(\([a-z0-9_]*\) .*/\1/p' tests/CMakeLists.txt); do
   if ! grep -q "$t" $docs 2>/dev/null; then
     echo "UNDOCUMENTED TEST TARGET: $t (mention it in one of: $docs)"

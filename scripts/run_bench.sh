@@ -9,8 +9,8 @@
 # Set SYM_BENCH_SMOKE=1 for the fast CI variant (same flags the bench_smoke
 # ctest label uses). Set SYM_BENCH_COMMIT_ROOT=1 to also refresh the
 # committed trajectory files at the repo root (BENCH_overhead.json,
-# BENCH_scaling.json) — full mode only, so a smoke run can never clobber
-# real numbers.
+# BENCH_scaling.json, BENCH_cache.json, BENCH_scale.json) — full mode
+# only, so a smoke run can never clobber real numbers.
 
 set -eu
 
@@ -46,6 +46,13 @@ echo "== cache_fairness_study =="
 # beating hash, or when size-fair stops narrowing the FIFO rate gap.
 "$build/bench/cache_fairness_study" $smoke_flag --out "$out/BENCH_cache.json"
 
+echo "== scale_study =="
+# Million-request scale study over the replayed application mixes. Fails
+# when checksums/event counts diverge across worker counts, when any
+# reserved cell allocates in its second half (steady-state zero-allocation
+# gate), or when the full-mode ladder misses 1M concurrent in-flight.
+"$build/bench/scale_study" $smoke_flag --out "$out/BENCH_scale.json"
+
 echo "== micro_benchmarks =="
 "$build/bench/micro_benchmarks" \
   --benchmark_out="$out/BENCH_micro.json" \
@@ -60,8 +67,10 @@ if [ "${SYM_BENCH_COMMIT_ROOT:-0}" = "1" ]; then
   cp "$out/BENCH_overhead.json" "$root/BENCH_overhead.json"
   cp "$out/BENCH_scaling.json" "$root/BENCH_scaling.json"
   cp "$out/BENCH_cache.json" "$root/BENCH_cache.json"
+  cp "$out/BENCH_scale.json" "$root/BENCH_scale.json"
   echo "refreshed committed trajectory files: $root/BENCH_overhead.json," \
-       "$root/BENCH_scaling.json, $root/BENCH_cache.json"
+       "$root/BENCH_scaling.json, $root/BENCH_cache.json," \
+       "$root/BENCH_scale.json"
 fi
 
 echo

@@ -447,4 +447,51 @@ std::uint64_t Engine::event_digest() const noexcept {
   return h;
 }
 
+ArenaStats Engine::arena_stats() const noexcept {
+  ArenaStats total;
+  for (const auto& l : lanes_) total += l->arena_stats();
+  return total;
+}
+
+std::uint64_t Engine::arena_slot_count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& l : lanes_) n += l->arena_slot_count();
+  return n;
+}
+
+void Engine::reserve_events_per_lane(std::uint32_t n) {
+  for (auto& l : lanes_) l->reserve_events(n);
+}
+
+void Engine::reserve_events_on(std::uint32_t lane, std::uint32_t n) {
+  lanes_[lane]->reserve_events(n);
+}
+
+std::uint64_t Engine::arena_slot_count(std::uint32_t lane) const noexcept {
+  return lanes_[lane]->arena_slot_count();
+}
+
+std::vector<std::uint32_t> Engine::outbox_highwater() const {
+  const std::uint32_t n = lane_count();
+  std::vector<std::uint32_t> m(static_cast<std::size_t>(n) * n, 0);
+  for (std::uint32_t src = 0; src < n; ++src) {
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      m[static_cast<std::size_t>(src) * n + dst] =
+          lanes_[src]->outbox_highwater(dst);
+    }
+  }
+  return m;
+}
+
+void Engine::reserve_outboxes(const std::vector<std::uint32_t>& matrix) {
+  const std::uint32_t n = lane_count();
+  assert(matrix.size() == static_cast<std::size_t>(n) * n);
+  for (std::uint32_t src = 0; src < n; ++src) {
+    for (std::uint32_t dst = 0; dst < n; ++dst) {
+      const std::uint32_t cap = matrix[static_cast<std::size_t>(src) * n + dst];
+      if (cap != 0) lanes_[src]->reserve_outbox(dst, cap);
+    }
+  }
+}
+
 }  // namespace sym::sim

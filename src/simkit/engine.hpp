@@ -36,11 +36,16 @@
 //    (id = lane << 56 | generation << 28 | slot). cancel() is a direct O(1)
 //    slot access — no hash-set insert, and a stale id from a fired event
 //    simply fails the generation check instead of poisoning a tombstone set.
-//  * The priority queue is an explicit 4-ary heap: shallower than a binary
-//    heap (log_4 n levels) and with all four children of a node on one
-//    cache line's worth of entries, which measurably speeds up the
-//    sift-down on pop. Cancelled entries are skipped with a flag test when
-//    they surface, not a set lookup per pop.
+//  * The priority queue is an explicit d-ary heap (fanout = SYM_HEAP_FANOUT,
+//    default 4, see dheap.hpp): shallower than a binary heap (log_d n
+//    levels) and with a node's children on one cache line's worth of
+//    entries, which measurably speeds up the sift-down on pop. Cancelled
+//    entries are skipped with a flag test when they surface, not a set
+//    lookup per pop.
+//  * Per-event memory is arena-owned (arena.hpp): slots recycle through an
+//    intrusive freelist, callbacks are inline-buffer SmallFn, and
+//    Engine::arena_stats() aggregates the per-lane allocation counters the
+//    benches divide by executed events.
 #pragma once
 
 #include <atomic>
@@ -225,6 +230,40 @@ class Engine {
   /// same digest for every worker_count; only maintained under
   /// -DSYM_DEBUG_CHECKS=ON (0 otherwise). See docs/STATIC_ANALYSIS.md.
   [[nodiscard]] std::uint64_t event_digest() const noexcept;
+
+  /// Event-path allocation counters summed over every lane's arena. The
+  /// benches report stats.allocations() / events_processed() as the
+  /// allocations-per-event column; steady state must hold it at zero.
+  [[nodiscard]] ArenaStats arena_stats() const noexcept;
+
+  /// Total event slots ever created across the lane arenas (live +
+  /// freelisted): the high-water mark the recycling tests compare across
+  /// identical phases.
+  [[nodiscard]] std::uint64_t arena_slot_count() const noexcept;
+
+  /// Pre-size every lane's slot table and event heap for `n` simultaneous
+  /// pending events, so a known steady state never grows containers
+  /// mid-run. Call before scheduling.
+  void reserve_events_per_lane(std::uint32_t n);
+
+  /// Per-lane variant of reserve_events_per_lane (event populations are
+  /// rarely uniform: server lanes hold the in-transit deliveries).
+  void reserve_events_on(std::uint32_t lane, std::uint32_t n);
+
+  /// Event slots ever created on one lane (its arena high-water mark) —
+  /// the capacity-planning input for reserve_events_on.
+  [[nodiscard]] std::uint64_t arena_slot_count(std::uint32_t lane) const noexcept;
+
+  /// Row-major lanes^2 matrix of outbox size high-water marks: entry
+  /// (src, dst) is the largest batch src ever buffered for dst between two
+  /// window merges. A warmup run's matrix, fed back through
+  /// reserve_outboxes() on an identical run, removes the last allocation
+  /// source on the cross-lane post path.
+  [[nodiscard]] std::vector<std::uint32_t> outbox_highwater() const;
+
+  /// Pre-size the (src, dst) outbox buffers from a row-major lanes^2
+  /// matrix of capacities (zero entries are skipped).
+  void reserve_outboxes(const std::vector<std::uint32_t>& matrix);
 
 #if SYM_DEBUG_CHECKS
   /// Test-only escape hatch: direct access to a Lane, bypassing the at_on

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cstdlib>
+#include <cstring>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -103,6 +104,45 @@ inline void tsan_destroy_fiber(void* fiber) {
 
 }  // namespace
 
+#ifdef SYM_FIBER_FAST_SWITCH
+
+// Save the System V x86-64 callee-saved registers on the current stack,
+// park the stack pointer in *save_sp, adopt target_sp and restore its saved
+// registers; `ret` then resumes wherever the target context last saved (or,
+// on first entry, the trampoline address planted by switch_in). Caller-saved
+// state needs no handling: from the compiler's view this is an ordinary
+// opaque call. The signal mask is deliberately NOT switched — that is the
+// entire speedup over swapcontext (no rt_sigprocmask round trips) and is
+// sound because fibers never alter it.
+extern "C" void sym_fiber_asm_switch(void** save_sp, void* target_sp);
+asm(R"(
+.text
+.align 16
+.globl sym_fiber_asm_switch
+.type sym_fiber_asm_switch, @function
+sym_fiber_asm_switch:
+    .cfi_startproc
+    pushq %rbp
+    pushq %rbx
+    pushq %r12
+    pushq %r13
+    pushq %r14
+    pushq %r15
+    movq %rsp, (%rdi)
+    movq %rsi, %rsp
+    popq %r15
+    popq %r14
+    popq %r13
+    popq %r12
+    popq %rbx
+    popq %rbp
+    ret
+    .cfi_endproc
+.size sym_fiber_asm_switch, .-sym_fiber_asm_switch
+)");
+
+#endif  // SYM_FIBER_FAST_SWITCH
+
 // ---------------------------------------------------------------------------
 // FiberStack / StackPool
 // ---------------------------------------------------------------------------
@@ -165,6 +205,76 @@ Fiber::~Fiber() {
 
 Fiber* Fiber::current() noexcept { return g_current_fiber; }
 
+void Fiber::run_entry() { entry_(); }
+
+#ifdef SYM_FIBER_FAST_SWITCH
+
+// First instructions ever executed on a fiber stack: switch_in() plants this
+// function's address as the `ret` target of sym_fiber_asm_switch, with six
+// zeroed register slots below it. g_current_fiber is set by switch_in()
+// before the switch, so no argument registers need to survive the swap.
+void Fiber::fast_trampoline() {
+  Fiber* self = g_current_fiber;
+  asan_finish_switch(nullptr, &self->asan_sched_bottom_,
+                     &self->asan_sched_size_);
+  self->run_entry();
+  // Mark finished *before* the final switch back to the scheduler.
+  self->finished_ = true;
+  asan_start_switch(nullptr, self->asan_sched_bottom_,
+                    self->asan_sched_size_);
+  tsan_switch_to(self->tsan_sched_);
+  sym_fiber_asm_switch(&self->fast_sp_, self->fast_return_sp_);
+  std::abort();  // unreachable: a finished fiber is never resumed
+}
+
+void Fiber::switch_in() {
+  assert(!finished_ && "cannot resume a finished fiber");
+  assert(g_current_fiber == nullptr && "nested fibers are not supported");
+  if (!started_) {
+    started_ = true;
+    // Lay out the initial context by hand: the trampoline address sits at a
+    // 16-byte-aligned slot (so rsp ≡ 8 mod 16 at function entry, as after a
+    // call), with the six callee-saved register slots zeroed below it.
+    auto top = reinterpret_cast<std::uintptr_t>(stack_->base()) +
+               stack_->size();
+    top &= ~static_cast<std::uintptr_t>(15);
+    top -= 16;  // headroom; keeps the ret-target slot 16-aligned
+    *reinterpret_cast<std::uintptr_t*>(top) =
+        reinterpret_cast<std::uintptr_t>(&Fiber::fast_trampoline);
+    fast_sp_ = reinterpret_cast<void*>(top - 6 * 8);
+    std::memset(fast_sp_, 0, 6 * 8);
+  }
+  ++switches_;
+  Fiber* prev = g_current_fiber;
+  g_current_fiber = this;
+  void* sched_fake_stack = nullptr;
+  asan_start_switch(&sched_fake_stack, stack_->base(), stack_->size());
+#ifdef SYM_TSAN_FIBERS
+  if (tsan_fiber_ == nullptr) tsan_fiber_ = tsan_create_fiber();
+  tsan_sched_ = tsan_current_fiber();
+  tsan_switch_to(tsan_fiber_);
+#endif
+  sym_fiber_asm_switch(&fast_return_sp_, fast_sp_);
+  // Back on the scheduler stack (fiber suspended or finished).
+  asan_finish_switch(sched_fake_stack, nullptr, nullptr);
+  g_current_fiber = prev;
+}
+
+void Fiber::switch_out() {
+  Fiber* self = g_current_fiber;
+  assert(self != nullptr && "switch_out() called outside any fiber");
+  asan_start_switch(&self->asan_fake_stack_, self->asan_sched_bottom_,
+                    self->asan_sched_size_);
+  tsan_switch_to(self->tsan_sched_);
+  sym_fiber_asm_switch(&self->fast_sp_, self->fast_return_sp_);
+  // Resumed by a later switch_in(); refresh the scheduler-stack bounds in
+  // case the resume came from a different frame.
+  asan_finish_switch(self->asan_fake_stack_, &self->asan_sched_bottom_,
+                     &self->asan_sched_size_);
+}
+
+#else  // !SYM_FIBER_FAST_SWITCH — portable ucontext implementation
+
 void Fiber::trampoline(unsigned hi, unsigned lo) {
   auto* self = reinterpret_cast<Fiber*>(
       (static_cast<std::uintptr_t>(hi) << 32) | static_cast<std::uintptr_t>(lo));
@@ -190,8 +300,6 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
   swapcontext(&self->ctx_, &self->return_ctx_);
   std::abort();  // unreachable: a finished fiber is never resumed
 }
-
-void Fiber::run_entry() { entry_(); }
 
 void Fiber::switch_in() {
   assert(!finished_ && "cannot resume a finished fiber");
@@ -242,5 +350,7 @@ void Fiber::switch_out() {
   asan_finish_switch(self->asan_fake_stack_, &self->asan_sched_bottom_,
                      &self->asan_sched_size_);
 }
+
+#endif  // SYM_FIBER_FAST_SWITCH
 
 }  // namespace sym::sim

@@ -20,6 +20,25 @@
 #include <memory>
 #include <ucontext.h>
 
+// Fast userspace context switch: on x86-64, glibc's swapcontext issues a
+// rt_sigprocmask syscall on every switch to save/restore the signal mask —
+// two syscalls per ULT suspend/resume pair, which dominates switch cost at
+// millions of events. Simulated handlers never touch signal masks, so
+// unsanitized builds switch via a ~20-instruction callee-saved register swap
+// (sym_fiber_asm_switch in fiber.cpp). Sanitized builds keep the ucontext
+// path: ASan/TSan fiber support is exercised against it, and switch cost is
+// noise under instrumentation.
+#if defined(__x86_64__) && !defined(__SANITIZE_ADDRESS__) && \
+    !defined(__SANITIZE_THREAD__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define SYM_FIBER_FAST_SWITCH 1
+#endif
+#else
+#define SYM_FIBER_FAST_SWITCH 1
+#endif
+#endif
+
 namespace sym::sim {
 
 /// A reusable fiber stack. Obtained from and returned to StackPool.
@@ -95,12 +114,18 @@ class Fiber {
 
  private:
   static void trampoline(unsigned hi, unsigned lo);
+  static void fast_trampoline();
   void run_entry();
 
   std::function<void()> entry_;
   std::unique_ptr<FiberStack> stack_;
   ucontext_t ctx_{};
   ucontext_t return_ctx_{};
+  // Fast-switch stack pointers (x86-64 unsanitized builds; kept in the
+  // layout unconditionally like the sanitizer fields below): where the fiber
+  // last suspended, and where the scheduler waits for it to yield.
+  void* fast_sp_ = nullptr;
+  void* fast_return_sp_ = nullptr;
   bool started_ = false;
   bool finished_ = false;
   std::uint64_t switches_ = 0;

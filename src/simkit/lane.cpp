@@ -1,87 +1,49 @@
 #include "simkit/lane.hpp"
 
-#include <algorithm>
 #include <cassert>
 #include <utility>
 
 namespace sym::sim {
 
 Lane::Lane(std::uint32_t index, std::uint64_t seed, std::uint32_t lane_count)
-    : index_(index), rng_(seed), outbox_(lane_count) {
+    : index_(index),
+      rng_(seed),
+      outbox_(lane_count),
+      outbox_hw_(lane_count, 0) {
   debug::bind_home_lane(this, index_);
 }
 
 Lane::~Lane() { debug::unbind_home_lane(this); }
 
-// ---------------------------------------------------------------------------
-// Slot table
-// ---------------------------------------------------------------------------
-
-std::uint32_t Lane::acquire_slot() {
-  std::uint32_t idx;
-  if (free_head_ != kNoFreeSlot) {
-    idx = free_head_;
-    free_head_ = slots_[idx].next_free;
-  } else {
-    idx = static_cast<std::uint32_t>(slots_.size());
-    slots_.emplace_back();
-  }
-  Slot& s = slots_[idx];
-  s.in_use = true;
-  s.cancelled = false;
-  return idx;
+void Lane::reserve_events(std::uint32_t n) {
+  arena_.reserve(n);
+  heap_.reserve(n);
+  dirty_dst_.reserve(outbox_.size());
 }
 
-void Lane::release_slot(std::uint32_t idx) noexcept {
-  Slot& s = slots_[idx];
-  s.cb = nullptr;
-  s.in_use = false;
-  s.cancelled = false;
-  ++s.generation;  // invalidate every outstanding id for this slot
-  s.next_free = free_head_;
-  free_head_ = idx;
+void Lane::reserve_outbox(std::uint32_t dst, std::uint32_t n) {
+  assert(dst < outbox_.size());
+  outbox_[dst].reserve(n);
 }
 
 // ---------------------------------------------------------------------------
-// 4-ary heap
+// d-ary heap (fanout = kHeapFanout, see dheap.hpp)
 // ---------------------------------------------------------------------------
 
 void Lane::heap_push(HeapEntry e) {
-  std::size_t i = heap_.size();
-  heap_.push_back(e);
-  while (i > 0) {
-    const std::size_t parent = (i - 1) / 4;
-    if (!before(heap_[i], heap_[parent])) break;
-    std::swap(heap_[i], heap_[parent]);
-    i = parent;
-  }
+  if (heap_.size() == heap_.capacity()) ++arena_.stats.container_growths;
+  dheap_push<kHeapFanout>(heap_, e, &Lane::before);
 }
 
 Lane::HeapEntry Lane::heap_pop() {
   assert(!heap_.empty());
-  const HeapEntry top = heap_[0];
-  heap_[0] = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
-  std::size_t i = 0;
-  while (true) {
-    const std::size_t first_child = 4 * i + 1;
-    if (first_child >= n) break;
-    std::size_t best = first_child;
-    const std::size_t last_child = std::min(first_child + 4, n);
-    for (std::size_t c = first_child + 1; c < last_child; ++c) {
-      if (before(heap_[c], heap_[best])) best = c;
-    }
-    if (!before(heap_[best], heap_[i])) break;
-    std::swap(heap_[i], heap_[best]);
-    i = best;
-  }
-  return top;
+  return dheap_pop<kHeapFanout>(heap_, &Lane::before);
 }
 
 void Lane::drop_cancelled_top() {
-  while (!heap_.empty() && slots_[heap_[0].slot].cancelled) {
-    release_slot(heap_pop().slot);
+  while (!heap_.empty() &&
+         (arena_.hot(heap_[0].slot).flags & LaneArena::kCancelled) != 0) {
+    arena_.release(heap_pop().slot);
   }
 }
 
@@ -95,28 +57,31 @@ std::uint64_t Lane::schedule(TimeNs t, Callback cb) {
   // worker's lane is exactly the cross-lane bug at_on's mailbox prevents.
   debug::assert_home_lane(this, "Lane::schedule");
   if (t < now_) t = now_;  // no scheduling into the past
-  const std::uint32_t idx = acquire_slot();
-  slots_[idx].cb = std::move(cb);
+  if (cb.on_heap()) ++arena_.stats.fn_heap_spills;
+  const std::uint32_t idx = arena_.acquire();
+  arena_.cb(idx) = std::move(cb);
   heap_push(HeapEntry{t, next_seq_++, idx});
   ++pending_;
   next_dirty_ = true;
-  return (static_cast<std::uint64_t>(slots_[idx].generation & 0x0FFFFFFFu)
+  return (static_cast<std::uint64_t>(arena_.hot(idx).generation & 0x0FFFFFFFu)
           << 28) |
          idx;
 }
 
 bool Lane::cancel(std::uint32_t slot, std::uint32_t generation) {
   debug::assert_home_lane(this, "Lane::cancel");
-  if (slot >= slots_.size()) return false;
-  Slot& s = slots_[slot];
+  if (slot >= arena_.slot_count()) return false;
+  LaneArena::SlotHot& s = arena_.hot(slot);
   // A fired or re-used slot fails the generation check: cancelling a stale
   // id is a no-op, with no tombstone left behind. The heap entry stays in
   // place and is dropped with a flag test when it surfaces.
-  if (!s.in_use || (s.generation & 0x0FFFFFFFu) != generation || s.cancelled) {
+  if ((s.flags & LaneArena::kInUse) == 0 ||
+      (s.generation & 0x0FFFFFFFu) != generation ||
+      (s.flags & LaneArena::kCancelled) != 0) {
     return false;
   }
-  s.cancelled = true;
-  s.cb = nullptr;  // free captured state eagerly
+  s.flags |= LaneArena::kCancelled;
+  arena_.cb(slot) = nullptr;  // free captured state eagerly
   --pending_;
   next_dirty_ = true;
   return true;
@@ -124,8 +89,20 @@ bool Lane::cancel(std::uint32_t slot, std::uint32_t generation) {
 
 void Lane::post_remote(std::uint32_t dst, TimeNs t, Callback cb) {
   assert(dst < outbox_.size());
-  if (outbox_[dst].empty()) dirty_dst_.push_back(dst);
-  outbox_[dst].push_back(RemoteEvent{t, std::move(cb)});
+  // Spills are counted once per event, in schedule(): every remote callback
+  // reaches the destination lane's schedule() via absorb_outbox_from().
+  auto& box = outbox_[dst];
+  if (box.empty()) {
+    if (dirty_dst_.size() == dirty_dst_.capacity()) {
+      ++arena_.stats.container_growths;
+    }
+    dirty_dst_.push_back(dst);
+  }
+  if (box.size() == box.capacity()) ++arena_.stats.container_growths;
+  box.push_back(RemoteEvent{t, std::move(cb)});
+  if (box.size() > outbox_hw_[dst]) {
+    outbox_hw_[dst] = static_cast<std::uint32_t>(box.size());
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -136,9 +113,9 @@ bool Lane::pop_and_run() {
   debug::assert_home_lane(this, "Lane::pop_and_run");
   while (!heap_.empty()) {
     const HeapEntry top = heap_pop();
-    Slot& s = slots_[top.slot];
-    if (s.cancelled) {
-      release_slot(top.slot);
+    LaneArena::SlotHot& s = arena_.hot(top.slot);
+    if ((s.flags & LaneArena::kCancelled) != 0) {
+      arena_.release(top.slot);
       continue;
     }
     now_ = top.t;
@@ -154,10 +131,10 @@ bool Lane::pop_and_run() {
     };
     digest_ = mix(mix(digest_, top.t), top.seq);
 #endif
-    Callback cb = std::move(s.cb);
+    Callback cb = std::move(arena_.cb(top.slot));
     // Release before running: a callback cancelling its own (now stale) id
     // or scheduling new events must see a consistent slot table.
-    release_slot(top.slot);
+    arena_.release(top.slot);
     cb();
     return true;
   }

@@ -1,22 +1,32 @@
 // simkit/lane.hpp
 //
 // One shard of the discrete-event engine. A Lane owns everything the old
-// single-threaded engine owned — a 4-ary heap of generation-tagged event
-// slots, a virtual clock, a FIFO sequence counter and an independently
-// seeded Rng stream — for the subset of simulated nodes mapped to it
-// (node % lane_count). During a safe window (see engine.hpp) every lane is
-// executed by exactly one worker thread and touches only lane-local state;
-// events destined for another lane are appended to a per-destination outbox
-// that the coordinator merges at the window barrier in (src-lane, append)
-// order, which keeps the merged schedule independent of the worker count.
+// single-threaded engine owned — a d-ary heap of generation-tagged event
+// slots (fanout via the SYM_HEAP_FANOUT knob, see dheap.hpp), a virtual
+// clock, a FIFO sequence counter and an independently seeded Rng stream —
+// for the subset of simulated nodes mapped to it (node % lane_count). During
+// a safe window (see engine.hpp) every lane is executed by exactly one
+// worker thread and touches only lane-local state; events destined for
+// another lane are appended to a per-destination outbox that the coordinator
+// merges at the window barrier in (src-lane, append) order, which keeps the
+// merged schedule independent of the worker count.
+//
+// Memory model: every per-event byte lives in the lane's arena (arena.hpp)
+// or in vectors the lane recycles in place. Callbacks are SmallFn (inline
+// capture buffer, no per-event malloc), event slots come from LaneArena's
+// intrusive freelist, and heap/outbox vectors only grow to the workload's
+// high-water mark. ArenaStats counts every departure from that steady state
+// so benches can assert allocations-per-event == 0 after warmup.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
+#include "simkit/arena.hpp"
 #include "simkit/debug_checks.hpp"
+#include "simkit/dheap.hpp"
 #include "simkit/rng.hpp"
+#include "simkit/smallfn.hpp"
 #include "simkit/time.hpp"
 
 namespace sym::sim {
@@ -25,7 +35,7 @@ class Engine;
 
 class Lane {
  public:
-  using Callback = std::function<void()>;
+  using Callback = SmallFn;
 
   Lane(std::uint32_t index, std::uint64_t seed, std::uint32_t lane_count);
   ~Lane();
@@ -49,6 +59,34 @@ class Lane {
   /// suite compares Engine::event_digest() across worker counts so a
   /// determinism regression fails loudly instead of skewing figures.
   [[nodiscard]] std::uint64_t digest() const noexcept { return digest_; }
+
+  /// Allocation accounting for this lane's event path (slot table, heap,
+  /// outboxes, SmallFn spills). Pure simulation state: identical across
+  /// worker counts for identical schedules.
+  [[nodiscard]] const ArenaStats& arena_stats() const noexcept {
+    return arena_.stats;
+  }
+
+  /// Slots ever created in the arena (live + freelisted): the high-water
+  /// mark the recycling tests compare across identical phases.
+  [[nodiscard]] std::uint32_t arena_slot_count() const noexcept {
+    return arena_.slot_count();
+  }
+
+  /// Pre-size the slot table and event heap for a known steady state so the
+  /// run never grows containers mid-flight.
+  void reserve_events(std::uint32_t n);
+
+  /// Pre-size the outbox buffer for destination `dst`. Outboxes retain
+  /// their capacity across window merges, so seeding them with a measured
+  /// high-water mark removes the last growth source on the post path.
+  void reserve_outbox(std::uint32_t dst, std::uint32_t n);
+
+  /// Largest size the outbox for `dst` ever reached (capacity planning for
+  /// reserve_outbox on a subsequent identical run).
+  [[nodiscard]] std::uint32_t outbox_highwater(std::uint32_t dst) const noexcept {
+    return outbox_hw_[dst];
+  }
 
   /// Schedule `cb` at absolute time `t` (clamped to now()). Returns the
   /// slot/generation half of an Engine::EventId (lane bits added by the
@@ -112,19 +150,11 @@ class Lane {
 
  private:
   /// Heap entries are 24 bytes (no callback): the callback lives in the
-  /// slot table, so sift operations move small PODs only.
+  /// arena's cold array, so sift operations move small PODs only.
   struct HeapEntry {
     TimeNs t;
     std::uint64_t seq;  ///< monotonically increasing FIFO tie-break
     std::uint32_t slot;
-  };
-
-  struct Slot {
-    Callback cb;
-    std::uint32_t generation = 1;
-    std::uint32_t next_free = 0;
-    bool in_use = false;
-    bool cancelled = false;
   };
 
   struct RemoteEvent {
@@ -132,16 +162,11 @@ class Lane {
     Callback cb;
   };
 
-  static constexpr std::uint32_t kNoFreeSlot = 0xFFFFFFFFu;
-
   [[nodiscard]] static bool before(const HeapEntry& a,
                                    const HeapEntry& b) noexcept {
     if (a.t != b.t) return a.t < b.t;
     return a.seq < b.seq;
   }
-
-  std::uint32_t acquire_slot();
-  void release_slot(std::uint32_t idx) noexcept;
 
   void heap_push(HeapEntry e);
   /// Remove and return the top entry (caller checks non-empty).
@@ -158,10 +183,10 @@ class Lane {
   std::size_t pending_ = 0;
   bool next_dirty_ = true;
   std::vector<HeapEntry> heap_;
-  std::vector<Slot> slots_;
-  std::uint32_t free_head_ = kNoFreeSlot;
+  LaneArena arena_;
   Rng rng_;
   std::vector<std::vector<RemoteEvent>> outbox_;  ///< one per destination lane
+  std::vector<std::uint32_t> outbox_hw_;  ///< per-destination size high-water
   std::vector<std::uint32_t> dirty_dst_;  ///< destinations with pending posts
 };
 

@@ -14,7 +14,7 @@ WindowCoordinator::WindowCoordinator(Engine& engine, std::uint32_t workers)
       // Participants: the workers plus the coordinating thread. With one
       // worker the coordinator runs the lanes itself and the barrier is
       // never used (but must still be constructible).
-      sync_(workers_ > 1 ? static_cast<std::ptrdiff_t>(workers_) + 1 : 1) {
+      sync_(workers_ > 1 ? workers_ + 1 : 1) {
   const auto lane_count = static_cast<std::uint32_t>(engine_.lanes_.size());
   // Initial assignment: the historical static stride.
   worker_lanes_.resize(workers_);

@@ -21,7 +21,6 @@
 #pragma once
 
 #include <atomic>
-#include <barrier>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -31,6 +30,52 @@
 namespace sym::sim {
 
 class Engine;
+
+/// Sense-reversing phase barrier tuned for the window handoff. std::barrier
+/// spins aggressively before parking, which is the right call when every
+/// participant has its own core — and exactly wrong when the pool is
+/// oversubscribed (workers + coordinator > host CPUs): each barrier crossing
+/// then burns a scheduling quantum spinning while the thread that could
+/// release the barrier waits for the CPU. That is the 16-lane regression in
+/// BENCH_scaling.json (workers>1 ~1.7x slower than 1 worker on the 1-vCPU
+/// builder). HandoffBarrier sizes its spin budget from host parallelism:
+/// bounded spin when participants fit the machine, immediate yield when they
+/// don't, so an oversubscribed pool degrades to cooperative scheduling
+/// instead of quantum-long spin waits.
+class HandoffBarrier {
+ public:
+  explicit HandoffBarrier(std::uint32_t participants)
+      : participants_(participants),
+        spin_limit_(participants <= std::thread::hardware_concurrency()
+                        ? kSpinBudget
+                        : 0) {}
+
+  void arrive_and_wait() noexcept {
+    // The phase cannot advance between this load and our arrival below:
+    // every participant (including us) must arrive first.
+    const std::uint64_t phase = phase_.load(std::memory_order_acquire);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        participants_) {
+      // Last arriver: reset the count, then publish the new phase. Waiters
+      // acquire the phase store, so the reset happens-before any re-arrival.
+      arrived_.store(0, std::memory_order_relaxed);
+      phase_.store(phase + 1, std::memory_order_release);
+      return;
+    }
+    std::uint32_t spins = 0;
+    while (phase_.load(std::memory_order_acquire) == phase) {
+      if (++spins > spin_limit_) std::this_thread::yield();
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kSpinBudget = 4096;
+
+  std::uint32_t participants_;
+  std::uint32_t spin_limit_;
+  std::atomic<std::uint64_t> phase_{0};
+  std::atomic<std::uint32_t> arrived_{0};
+};
 
 class WindowCoordinator {
  public:
@@ -74,7 +119,7 @@ class WindowCoordinator {
   std::uint32_t workers_;
   std::atomic<const TimeNs*> window_ends_{nullptr};
   std::atomic<bool> done_{false};
-  std::barrier<> sync_;
+  HandoffBarrier sync_;
   std::vector<std::thread> threads_;
 
   /// Persistent lane->worker assignment: worker_lanes_[w] holds the lane

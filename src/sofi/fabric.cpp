@@ -100,11 +100,13 @@ void Endpoint::post_send(EpAddr dst, std::uint64_t tag,
   // destination node, so all peer-state mutation is lane-local. For a
   // cross-lane send this routes through the window mailbox — safe, because
   // arrival is at least one link latency (>= the engine lookahead) away.
-  auto shared = std::make_shared<std::vector<std::byte>>(std::move(data));
+  // The payload vector is move-captured straight into the (move-only)
+  // callback: no shared_ptr wrap, no per-message heap traffic beyond the
+  // buffer the caller already owns.
   const EpAddr src = addr_;
   engine.at_on(engine.lane_for_node(peer.process_.node()), timing.arrival,
-               [&peer, src, tag, context, bytes, shared,
-                attachment = std::move(attachment)] {
+               [&peer, src, tag, context, bytes, data = std::move(data),
+                attachment = std::move(attachment)]() mutable {
     sim::debug::assert_home_lane(&peer, "Endpoint recv delivery");
     ++peer.recvs_;
     peer.cq_.push(CqEntry{.kind = CqKind::kRecv,
@@ -112,8 +114,8 @@ void Endpoint::post_send(EpAddr dst, std::uint64_t tag,
                           .tag = tag,
                           .context = context,
                           .bytes = bytes,
-                          .data = std::move(*shared),
-                          .attachment = attachment});
+                          .data = std::move(data),
+                          .attachment = std::move(attachment)});
   });
 }
 

@@ -75,8 +75,31 @@ class ChunkedBuffer {
 
   void clear() {
     chunks_.clear();
+    spare_.clear();
     total_appended_ = 0;
     dropped_ = 0;
+  }
+
+  /// Empty the buffer but keep every chunk allocated for reuse — the arena
+  /// discipline for phase-structured workloads (drain a trace between
+  /// checkpoint bursts, refill during the next one) where clear()'s
+  /// deallocate-and-regrow would reintroduce the allocation spike this
+  /// buffer exists to avoid. Counters reset like clear(); subsequent
+  /// appends refill the retained chunks before any new chunk is allocated.
+  void reset_retaining_chunks() {
+    for (auto& c : chunks_) {
+      c->count = 0;
+      spare_.push_back(std::move(c));
+    }
+    chunks_.clear();
+    total_appended_ = 0;
+    dropped_ = 0;
+  }
+
+  /// Chunks parked by reset_retaining_chunks() and not yet refilled
+  /// (diagnostic: retained capacity still waiting to pay off).
+  [[nodiscard]] std::size_t spare_chunks() const noexcept {
+    return spare_.size();
   }
 
   class const_iterator {
@@ -117,10 +140,16 @@ class ChunkedBuffer {
       chunks_.push_back(std::move(oldest));
       return;
     }
+    if (!spare_.empty()) {
+      chunks_.push_back(std::move(spare_.back()));
+      spare_.pop_back();
+      return;
+    }
     chunks_.push_back(std::make_unique<Chunk>());
   }
 
   std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<std::unique_ptr<Chunk>> spare_;
   std::size_t max_chunks_ = 0;
   std::uint64_t total_appended_ = 0;
   std::uint64_t dropped_ = 0;

@@ -1,0 +1,134 @@
+#include "workloads/loadgen/scenarios.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace sym::workloads::loadgen {
+
+const char* service_name(Service s) noexcept {
+  switch (s) {
+    case Service::kMobject:
+      return "mobject";
+    case Service::kHepnos:
+      return "hepnos";
+    case Service::kBlockcache:
+      return "blockcache";
+  }
+  return "?";
+}
+
+double BoundedPareto::sample(sim::Rng& rng) const noexcept {
+  // Inverse CDF of the bounded Pareto on [lo, hi]:
+  //   F(x) = (1 - (lo/x)^a) / (1 - (lo/hi)^a)
+  const double u = rng.uniform01();
+  const double ratio = std::pow(lo / hi, alpha);
+  const double x = lo / std::pow(1.0 - u * (1.0 - ratio), 1.0 / alpha);
+  return x < hi ? x : hi;
+}
+
+double BoundedPareto::mean() const noexcept {
+  // E[X] = lo^a / (1 - (lo/hi)^a) * a/(a-1) * (lo^(1-a) - hi^(1-a)), a != 1.
+  const double ratio = std::pow(lo / hi, alpha);
+  const double la = std::pow(lo, alpha);
+  return la / (1.0 - ratio) * alpha / (alpha - 1.0) *
+         (std::pow(lo, 1.0 - alpha) - std::pow(hi, 1.0 - alpha));
+}
+
+namespace {
+
+constexpr double kKiB = 1024.0;
+constexpr double kMiB = 1024.0 * 1024.0;
+
+std::vector<Scenario> build_presets() {
+  std::vector<Scenario> v;
+
+  // 0: deep-learning training reads (BERT/ResNet). Readers stream training
+  // shards sequentially: large Mobject object reads, a thin metadata stream
+  // beside them, near-constant pressure for the whole horizon (epochs only
+  // modulate the rate a little). Heavy sizes, light tail (shards are
+  // uniform-ish), bandwidth-bound service.
+  v.push_back(Scenario{
+      "dl_training_read",
+      "BERT/ResNet-style sequential large-read streams over Mobject",
+      {
+          OpClass{"shard_read", Service::kMobject, 0.9,
+                  BoundedPareto{1.0 * kMiB, 16.0 * kMiB, 2.5}, sim::usec(6),
+                  10.0},
+          OpClass{"manifest_stat", Service::kHepnos, 0.1,
+                  BoundedPareto{256.0, 4.0 * kKiB, 1.8}, sim::usec(2), 2.0},
+      },
+      {
+          Phase{"epoch_ramp", sim::msec(1), 0.7, {}},
+          Phase{"epoch_steady", sim::msec(4), 1.0, {}},
+      },
+      /*arrivals_per_client_per_ms=*/0.8,
+      BoundedPareto{0.25, 8.0, 1.9},
+  });
+
+  // 1: checkpoint bursts (LAMMPS/vpic). Long quiet compute phases with a
+  // trickle of diagnostics, then every rank dumps its checkpoint slab into
+  // the burst-buffer tier at once: the arrival rate multiplies ~30x and the
+  // mix flips to large blockcache writes. Open-loop arrivals make the
+  // queueing collapse during the dump visible.
+  v.push_back(Scenario{
+      "checkpoint_burst",
+      "LAMMPS/vpic-style compute-quiet / checkpoint-dump write bursts",
+      {
+          OpClass{"ckpt_write", Service::kBlockcache, 0.25,
+                  BoundedPareto{2.0 * kMiB, 64.0 * kMiB, 1.6}, sim::usec(4),
+                  12.0},
+          OpClass{"diag_append", Service::kHepnos, 0.75,
+                  BoundedPareto{4.0 * kKiB, 256.0 * kKiB, 2.0}, sim::usec(3),
+                  6.0},
+      },
+      {
+          Phase{"compute_quiet", sim::msec(3), 0.15, {}},
+          Phase{"ckpt_dump", sim::usec(600), 30.0, {8.0, 0.25}},
+      },
+      /*arrivals_per_client_per_ms=*/0.5,
+      BoundedPareto{0.2, 12.0, 1.5},
+  });
+
+  // 2: many-small-files (Montage). Mosaic stages touch thousands of tiny
+  // FITS tiles: a metadata-heavy HEPnOS stream plus small Mobject tile
+  // reads/writes; request count, not bytes, is the load. IOPS-bound
+  // service times with a long gap tail (stage barriers).
+  v.push_back(Scenario{
+      "montage_smallfiles",
+      "Montage-style many-small-files metadata storms",
+      {
+          OpClass{"tile_read", Service::kMobject, 0.45,
+                  BoundedPareto{8.0 * kKiB, 512.0 * kKiB, 1.4}, sim::usec(5),
+                  4.0},
+          OpClass{"tile_write", Service::kMobject, 0.2,
+                  BoundedPareto{8.0 * kKiB, 512.0 * kKiB, 1.4}, sim::usec(7),
+                  3.0},
+          OpClass{"meta_lookup", Service::kHepnos, 0.35,
+                  BoundedPareto{128.0, 2.0 * kKiB, 1.2}, sim::usec(2), 1.0},
+      },
+      {
+          Phase{"project_stage", sim::msec(2), 1.0, {}},
+          Phase{"background_stage", sim::msec(1), 1.6, {1.2, 0.4, 1.5}},
+      },
+      /*arrivals_per_client_per_ms=*/2.0,
+      BoundedPareto{0.1, 20.0, 1.3},
+  });
+
+  return v;
+}
+
+}  // namespace
+
+const std::vector<Scenario>& presets() {
+  static const std::vector<Scenario> kPresets = build_presets();
+  return kPresets;
+}
+
+const Scenario* find_preset(const char* name) {
+  for (const Scenario& s : presets()) {
+    if (std::strcmp(s.name, name) == 0) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace sym::workloads::loadgen

@@ -1,0 +1,89 @@
+// workloads/loadgen/scenarios.hpp
+//
+// Replayed application mixes for the open-loop load generator. Each scenario
+// encodes the I/O signature of a real application family — the mixes the
+// SYMBIOSYS paper's services served on Theta — as op classes (what a request
+// is: service, size distribution, service-time model) plus a phase schedule
+// (how the arrival process moves: steady streams, checkpoint bursts,
+// metadata storms). The presets are calibrated synthetic replays in the
+// Synapse sense: arrival and size distributions are matched to the
+// application shape, not traced byte-for-byte. docs/SCENARIOS.md documents
+// each preset and its provenance.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simkit/rng.hpp"
+#include "simkit/time.hpp"
+
+namespace sym::workloads::loadgen {
+
+/// Which composed data service a request exercises. The loadgen drives
+/// calibrated queueing/service-time models of the three service stacks
+/// (fixed per-op cost + size/bandwidth), not their full RPC pipelines — the
+/// point is request-volume scaling, and the model constants are taken from
+/// the measured service benches.
+enum class Service : std::uint8_t { kMobject = 0, kHepnos = 1, kBlockcache = 2 };
+
+[[nodiscard]] const char* service_name(Service s) noexcept;
+
+/// Bounded Pareto distribution on [lo, hi] with tail index alpha — the
+/// standard heavy-tailed-but-finite model for I/O sizes and interarrival
+/// gaps. Sampled by inverse CDF from the lane's deterministic Rng stream.
+struct BoundedPareto {
+  double lo = 1.0;
+  double hi = 2.0;
+  double alpha = 1.5;
+
+  [[nodiscard]] double sample(sim::Rng& rng) const noexcept;
+  /// Analytic mean (alpha != 1), used to scale gap draws to a target rate.
+  [[nodiscard]] double mean() const noexcept;
+};
+
+/// One request class within a scenario.
+struct OpClass {
+  const char* name;
+  Service service;
+  /// Relative share of the arrival stream (phase weight_scale multiplies).
+  double weight;
+  BoundedPareto size_bytes;
+  /// Fixed per-request service cost (RPC + index + media setup).
+  sim::DurationNs base_ns;
+  /// Service bandwidth for the size-dependent part.
+  double bytes_per_ns;
+};
+
+/// One segment of the mix schedule. Phases cycle for the whole horizon.
+struct Phase {
+  const char* name;
+  sim::DurationNs duration;
+  /// Multiplies the scenario's base arrival rate for this phase.
+  double rate_scale;
+  /// Per-op weight multipliers (empty = all 1.0; else one entry per op).
+  std::vector<double> weight_scale;
+};
+
+struct Scenario {
+  const char* name;
+  const char* summary;
+  std::vector<OpClass> ops;
+  std::vector<Phase> phases;
+  /// Open-loop base rate, per simulated client, in arrivals per
+  /// millisecond of virtual time.
+  double arrivals_per_client_per_ms;
+  /// Interarrival-gap shape (scaled so the mean gap matches the phase
+  /// rate); heavy-tailed gaps are what make queueing collapse abrupt.
+  BoundedPareto gap_shape;
+};
+
+/// The replay presets, in stable order (index is a scenario id in benches):
+///   0 dl_training_read — BERT/ResNet-style sequential large reads
+///   1 checkpoint_burst — LAMMPS/vpic-style checkpoint write bursts
+///   2 montage_smallfiles — Montage-style many-small-files + metadata
+[[nodiscard]] const std::vector<Scenario>& presets();
+
+/// Look up a preset by name (nullptr if unknown).
+[[nodiscard]] const Scenario* find_preset(const char* name);
+
+}  // namespace sym::workloads::loadgen

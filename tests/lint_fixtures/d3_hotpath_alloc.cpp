@@ -1,0 +1,38 @@
+// symlint fixture: D3 hot-path allocation violations. Linted under the
+// virtual path "src/simkit/lane.cpp" (a lane-executed hot-path file, where
+// raw heap allocation defeats the arena discipline) and again under
+// "src/simkit/fiber.cpp" (simkit, but not hot-path: no findings).
+// Expected (rule, line) pairs are pinned by test_symlint.cpp.
+#include <cstdlib>
+#include <new>
+
+namespace fixture {
+
+struct Slot {
+  int payload = 0;
+};
+
+inline Slot* bad_new() {
+  return new Slot();  // line 16: D3 (raw new on the hot path)
+}
+
+inline void* bad_malloc(std::size_t n) {
+  return malloc(n);  // line 20: D3 (raw malloc on the hot path)
+}
+
+inline void* bad_realloc(void* p, std::size_t n) {
+  return realloc(p, n);  // line 24: D3 (raw realloc on the hot path)
+}
+
+inline Slot* fine_placement(void* storage) {
+  // Placement construction into arena-owned storage IS the sanctioned
+  // idiom; only allocating `new` counts.
+  return ::new (storage) Slot();
+}
+
+inline Slot* fine_annotated_spill() {
+  // symlint: allow(fiber-blocking) reason=fixture models the counted SmallFn spill escape hatch
+  return new Slot();
+}
+
+}  // namespace fixture

@@ -1,0 +1,225 @@
+// Tests for the open-loop load generator (workloads/loadgen): deterministic
+// arrival schedules, worker-count independence of every result the benches
+// gate on, arena recycling across identical phases, and the bounded-Pareto
+// sampler the mixes are built from.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "argolite/request.hpp"
+#include "workloads/loadgen/loadgen.hpp"
+
+namespace lg = sym::workloads::loadgen;
+namespace sim = sym::sim;
+
+namespace {
+
+lg::LoadgenParams small_params(std::size_t preset, std::uint32_t nodes,
+                               std::uint64_t clients, sim::DurationNs horizon,
+                               std::uint32_t workers) {
+  lg::LoadgenParams p;
+  p.scenario = lg::presets().at(preset);
+  p.node_count = nodes;
+  p.client_population = clients;
+  p.horizon = horizon;
+  p.seed = 42;
+  p.exec.lane_count = 0;  // one lane per node
+  p.exec.worker_count = workers;
+  return p;
+}
+
+}  // namespace
+
+TEST(LoadgenScenarios, PresetTableIsStable) {
+  const auto& presets = lg::presets();
+  ASSERT_EQ(presets.size(), 3u);
+  EXPECT_STREQ(presets[0].name, "dl_training_read");
+  EXPECT_STREQ(presets[1].name, "checkpoint_burst");
+  EXPECT_STREQ(presets[2].name, "montage_smallfiles");
+  EXPECT_EQ(lg::find_preset("checkpoint_burst"), &presets[1]);
+  EXPECT_EQ(lg::find_preset("no_such_mix"), nullptr);
+  for (const auto& sc : presets) {
+    ASSERT_FALSE(sc.ops.empty());
+    ASSERT_FALSE(sc.phases.empty());
+    for (const auto& ph : sc.phases) {
+      EXPECT_GT(ph.duration, 0u);
+      if (!ph.weight_scale.empty()) {
+        EXPECT_EQ(ph.weight_scale.size(), sc.ops.size());
+      }
+    }
+  }
+}
+
+TEST(LoadgenScenarios, BoundedParetoStaysInBoundsAndMatchesMean) {
+  const lg::BoundedPareto bp{1.0, 64.0, 1.5};
+  sim::Rng rng(7);
+  double sum = 0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = bp.sample(rng);
+    ASSERT_GE(x, bp.lo);
+    ASSERT_LE(x, bp.hi);
+    sum += x;
+  }
+  const double empirical = sum / kDraws;
+  const double analytic = bp.mean();
+  EXPECT_GT(analytic, bp.lo);
+  EXPECT_LT(analytic, bp.hi);
+  EXPECT_NEAR(empirical / analytic, 1.0, 0.05);
+}
+
+// Same seed, fresh world -> byte-identical arrival schedule. This is the
+// golden-sequence guarantee the replayed mixes rely on: a scenario is a
+// reproducible experiment, not a random trace.
+TEST(Loadgen, GoldenArrivalSequenceForSameSeed) {
+  auto params = small_params(0, 8, 500, sim::msec(2), 1);
+  params.record_arrivals = true;
+
+  lg::LoadgenWorld a(params);
+  a.run();
+  lg::LoadgenWorld b(params);
+  b.run();
+
+  const auto log_a = a.arrival_log();
+  const auto log_b = b.arrival_log();
+  ASSERT_GT(log_a.size(), 100u);
+  ASSERT_EQ(log_a.size(), log_b.size());
+  EXPECT_TRUE(log_a == log_b);
+  EXPECT_EQ(a.arrival_checksum(), b.arrival_checksum());
+  EXPECT_EQ(a.completion_checksum(), b.completion_checksum());
+
+  // A different seed must produce a different schedule.
+  params.seed = 43;
+  lg::LoadgenWorld c(params);
+  c.run();
+  EXPECT_NE(a.arrival_checksum(), c.arrival_checksum());
+}
+
+// The full worker column {1, 2, 4, 8} over a ~100k-request mix: arrival and
+// completion checksums, request counts and executed-event counts must be
+// bit-identical — the conservative window protocol means worker threads can
+// never change simulation results.
+TEST(Loadgen, WorkerCountIndependenceOn100kRequestMix) {
+  std::uint64_t generated0 = 0;
+  std::uint64_t completed0 = 0;
+  std::uint64_t arrival0 = 0;
+  std::uint64_t completion0 = 0;
+  std::uint64_t events0 = 0;
+  std::uint64_t digest0 = 0;
+  for (const std::uint32_t workers : {1u, 2u, 4u, 8u}) {
+    auto params = small_params(2, 16, 7000, sim::msec(6), workers);
+    lg::LoadgenWorld world(params);
+    world.run();
+    if (workers == 1) {
+      generated0 = world.generated();
+      completed0 = world.completed();
+      arrival0 = world.arrival_checksum();
+      completion0 = world.completion_checksum();
+      events0 = world.engine().events_processed();
+      digest0 = world.engine().event_digest();
+      ASSERT_GE(generated0, 100000u);
+      ASSERT_GT(completed0, 0u);
+    } else {
+      EXPECT_EQ(world.generated(), generated0) << "workers=" << workers;
+      EXPECT_EQ(world.completed(), completed0) << "workers=" << workers;
+      EXPECT_EQ(world.arrival_checksum(), arrival0) << "workers=" << workers;
+      EXPECT_EQ(world.completion_checksum(), completion0)
+          << "workers=" << workers;
+      EXPECT_EQ(world.engine().events_processed(), events0)
+          << "workers=" << workers;
+      // 0 in release builds; the per-lane executed-event digest under
+      // -DSYM_DEBUG_CHECKS=ON.
+      EXPECT_EQ(world.engine().event_digest(), digest0)
+          << "workers=" << workers;
+    }
+  }
+}
+
+// Steady state recycles: a second identical phase cycle must not create any
+// new event slots or request records — everything the first cycle needed
+// comes back through the freelists.
+TEST(Loadgen, ArenaRecyclesAcrossIdenticalPhaseCycles) {
+  // Underloaded on purpose (few clients, many servers) so queues drain and
+  // records actually recycle instead of accumulating open-loop backlog.
+  // The first two cycles are warmup — they discover the concurrency
+  // high-water, exactly like the scale bench's warmup run — and the next
+  // two statistically identical cycles must then run entirely out of the
+  // freelists: zero net slot growth in either arena.
+  auto params = small_params(2, 8, 24, sim::msec(12), 1);
+  lg::LoadgenWorld world(params);
+
+  sim::DurationNs cycle = 0;
+  for (const auto& ph : params.scenario.phases) cycle += ph.duration;
+  ASSERT_EQ(cycle, sim::msec(3));
+
+  world.engine().run_until(2 * cycle);
+  const std::uint64_t event_slots_1 = world.engine().arena_slot_count();
+  const std::uint64_t request_slots_1 = world.request_slots();
+  const std::uint64_t recycled_1 = world.requests_recycled();
+  ASSERT_GT(world.completed(), 0u);
+
+  // Drive two more statistically identical cycles on the same world.
+  world.engine().run_until(4 * cycle);
+  EXPECT_EQ(world.engine().arena_slot_count(), event_slots_1)
+      << "post-warmup cycles grew the event arenas";
+  EXPECT_EQ(world.request_slots(), request_slots_1)
+      << "post-warmup cycles grew the request arenas";
+  EXPECT_GT(world.requests_recycled(), recycled_1)
+      << "post-warmup cycles did not recycle request records";
+}
+
+// Open loop means overload is visible: with servers saturated, the backlog
+// (generated - completed) grows instead of throttling the arrival stream.
+TEST(Loadgen, OverloadShowsAsGrowingBacklog) {
+  auto params = small_params(0, 8, 4000, sim::msec(2), 1);
+  lg::LoadgenWorld world(params);
+  world.run();
+  EXPECT_GT(world.generated(), 1000u);
+  EXPECT_GT(world.in_flight(), world.completed());
+  EXPECT_GT(world.peak_queued(), 0u);
+
+  const auto totals = world.op_totals();
+  ASSERT_EQ(totals.size(), params.scenario.ops.size());
+  std::uint64_t requests = 0;
+  for (const auto& ot : totals) requests += ot.requests;
+  // Every delivered request is attributed to exactly one op class.
+  EXPECT_LE(requests, world.generated());
+  EXPECT_GT(requests, 0u);
+  // dl_training_read is read-dominated: shard_read must dominate busy time.
+  EXPECT_EQ(world.dominant_op(), 0u);
+}
+
+TEST(RequestArena, FreelistRecyclesSlotsAndBumpsGenerations) {
+  sym::abt::RequestArena arena;
+  const std::uint32_t a = arena.acquire();
+  const std::uint32_t b = arena.acquire();
+  EXPECT_EQ(arena.slot_count(), 2u);
+  EXPECT_EQ(arena.live(), 2u);
+  EXPECT_NE(a, b);
+
+  const std::uint16_t gen_a = arena.rec(a).generation;
+  arena.release(a);
+  EXPECT_EQ(arena.live(), 1u);
+  const std::uint32_t c = arena.acquire();
+  EXPECT_EQ(c, a) << "freelist should hand back the released slot";
+  EXPECT_EQ(arena.rec(c).generation, gen_a + 1);
+  EXPECT_EQ(arena.slot_count(), 2u) << "no new slot for a recycled acquire";
+  EXPECT_EQ(arena.recycled(), 1u);
+
+  arena.release(b);
+  arena.release(c);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(RequestArena, ReserveAvoidsTableGrowth) {
+  sym::abt::RequestArena arena;
+  arena.reserve(64);
+  std::vector<std::uint32_t> idx;
+  for (int i = 0; i < 64; ++i) idx.push_back(arena.acquire());
+  EXPECT_EQ(arena.growths(), 0u);
+  for (const auto i : idx) arena.release(i);
+  for (int i = 0; i < 64; ++i) arena.acquire();
+  EXPECT_EQ(arena.growths(), 0u);
+  EXPECT_EQ(arena.slot_count(), 64u);
+}

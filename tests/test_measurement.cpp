@@ -205,6 +205,39 @@ TEST(ChunkedBuffer, UnboundedWhenRingDisabled) {
   EXPECT_EQ(buf.chunk_count(), 16u);
 }
 
+// Phase-structured reuse: reset_retaining_chunks() parks every chunk in a
+// spare pool and an identical refill consumes the pool instead of
+// allocating — the buffer-level analogue of the lane-arena steady state.
+TEST(ChunkedBuffer, ResetRetainsChunksForIdenticalRefill) {
+  prof::ChunkedBuffer<int, 4> buf;
+  for (int i = 0; i < 64; ++i) buf.push_back(i);
+  ASSERT_EQ(buf.chunk_count(), 16u);
+
+  buf.reset_retaining_chunks();
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.chunk_count(), 0u);
+  EXPECT_EQ(buf.spare_chunks(), 16u);
+
+  for (int i = 0; i < 64; ++i) buf.push_back(i * 2);
+  EXPECT_EQ(buf.chunk_count(), 16u);
+  EXPECT_EQ(buf.spare_chunks(), 0u) << "refill should consume the pool";
+  for (int i = 0; i < 64; ++i) ASSERT_EQ(buf[static_cast<std::size_t>(i)], i * 2);
+
+  // A refill larger than the retained capacity grows past the pool.
+  buf.reset_retaining_chunks();
+  for (int i = 0; i < 80; ++i) buf.push_back(i);
+  EXPECT_EQ(buf.chunk_count(), 20u);
+  EXPECT_EQ(buf[79], 79);
+
+  // Full clear() releases the pool as well.
+  buf.reset_retaining_chunks();
+  EXPECT_GT(buf.spare_chunks(), 0u);
+  buf.clear();
+  EXPECT_EQ(buf.spare_chunks(), 0u);
+  EXPECT_EQ(buf.chunk_count(), 0u);
+}
+
 // ---------------------------------------------------------------------------
 // CallpathKeyHash distribution
 // ---------------------------------------------------------------------------

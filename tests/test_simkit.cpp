@@ -2,6 +2,8 @@
 // fibers, cluster NIC/clock models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <vector>
 
 #include "simkit/cluster.hpp"
@@ -377,4 +379,130 @@ TEST(Cluster, DeterministicSkewForSameSeed) {
   for (sim::NodeId n = 0; n < 8; ++n) {
     EXPECT_EQ(c1.node(n).clock_skew_ns(), c2.node(n).clock_skew_ns());
   }
+}
+
+// ---------------------------------------------------------------------------
+// SmallFn / d-ary heap / lane arena (the million-request hot path pieces)
+// ---------------------------------------------------------------------------
+
+TEST(SmallFn, InlineCaptureDoesNotSpill) {
+  std::uint64_t a = 1, b = 2, c = 3;
+  sim::SmallFn fn([a, b, c, out = &a] { *out = a + b + c; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_FALSE(fn.on_heap());
+  fn();
+  EXPECT_EQ(a, 6u);
+}
+
+TEST(SmallFn, OversizedCaptureSpillsToHeapAndStillRuns) {
+  struct Fat {
+    char pad[200] = {};
+  };
+  int hits = 0;
+  // symlint: allow(fiber-blocking) reason=test exercises the counted spill path
+  sim::SmallFn fn([fat = Fat{}, &hits] {
+    ++hits;
+    (void)fat;
+  });
+  EXPECT_TRUE(fn.on_heap());
+  sim::SmallFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(SmallFn, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  sim::SmallFn fn([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  sim::SmallFn moved = std::move(fn);
+  moved();
+  EXPECT_EQ(*counter, 1);
+  moved = nullptr;
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+namespace {
+
+template <unsigned Arity>
+void dheap_sorts(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<std::uint64_t> heap;
+  std::vector<std::uint64_t> ref;
+  const auto before = [](std::uint64_t x, std::uint64_t y) { return x < y; };
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t v = rng.uniform(10000);
+    sim::dheap_push<Arity>(heap, v, before);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ASSERT_EQ(heap.front(), ref[i]) << "arity " << Arity << " pop " << i;
+    sim::dheap_pop<Arity>(heap, before);
+  }
+  EXPECT_TRUE(heap.empty());
+}
+
+}  // namespace
+
+TEST(DHeap, EveryFanoutPopsInSortedOrder) {
+  dheap_sorts<2>(11);
+  dheap_sorts<4>(11);
+  dheap_sorts<8>(11);
+}
+
+TEST(LaneArena, FreelistRecyclesSlotsWithFreshGenerations) {
+  sim::LaneArena arena;
+  const std::uint32_t a = arena.acquire();
+  const std::uint32_t b = arena.acquire();
+  EXPECT_EQ(arena.slot_count(), 2u);
+  const std::uint32_t gen_a = arena.hot(a).generation;
+  arena.cb(a) = sim::SmallFn([] {});
+  arena.release(a);
+  EXPECT_FALSE(static_cast<bool>(arena.cb(a))) << "release must drop the cb";
+
+  const std::uint32_t c = arena.acquire();
+  EXPECT_EQ(c, a);
+  EXPECT_EQ(arena.hot(c).generation, gen_a + 1);
+  EXPECT_EQ(arena.slot_count(), 2u);
+  EXPECT_EQ(arena.stats.slots_recycled, 1u);
+  (void)b;
+}
+
+TEST(LaneArena, ReserveMakesSteadyStateAllocationFree) {
+  sim::LaneArena arena;
+  arena.reserve(32);
+  const std::uint64_t growths0 = arena.stats.container_growths;
+  std::vector<std::uint32_t> idx;
+  for (int i = 0; i < 32; ++i) idx.push_back(arena.acquire());
+  for (const auto i : idx) arena.release(i);
+  for (int i = 0; i < 32; ++i) arena.acquire();
+  EXPECT_EQ(arena.stats.container_growths, growths0);
+}
+
+TEST(Engine, ArenaStatsAggregateAcrossLanes) {
+  sim::Engine eng;
+  int runs = 0;
+  for (int i = 0; i < 100; ++i) {
+    eng.at(static_cast<sim::TimeNs>(i), [&runs] { ++runs; });
+  }
+  eng.run();
+  EXPECT_EQ(runs, 100);
+  const sim::ArenaStats stats = eng.arena_stats();
+  EXPECT_GT(eng.arena_slot_count(), 0u);
+  // Inline callbacks: the event path may grow containers while warming but
+  // must never spill a SmallFn.
+  EXPECT_EQ(stats.fn_heap_spills, 0u);
+}
+
+TEST(Engine, ReserveEventsAvoidsContainerGrowth) {
+  sim::Engine eng;
+  eng.reserve_events_per_lane(256);
+  int runs = 0;
+  for (int i = 0; i < 200; ++i) {
+    eng.at(static_cast<sim::TimeNs>(i), [&runs] { ++runs; });
+  }
+  eng.run();
+  EXPECT_EQ(runs, 200);
+  EXPECT_EQ(eng.arena_stats().container_growths, 0u);
+  EXPECT_EQ(eng.arena_stats().allocations(), 0u);
 }

@@ -97,6 +97,21 @@ TEST(Symlint, D3DoesNotApplyInsideSimkit) {
   expect_findings("d3_fiber_blocking.cpp", "src/simkit/fixture_d3.cpp", {});
 }
 
+TEST(Symlint, D3FlagsRawAllocationOnHotPathFiles) {
+  // The allocation face of D3 applies only to the lane-executed hot-path
+  // files; placement new and annotated spill sites pass.
+  expect_findings("d3_hotpath_alloc.cpp", "src/simkit/lane.cpp",
+                  {{"D3", 16},    // raw new
+                   {"D3", 20},    // malloc()
+                   {"D3", 24}});  // realloc()
+}
+
+TEST(Symlint, D3AllocDoesNotApplyOffTheHotPath) {
+  // simkit files off the per-event path (fiber pool, debug checks) may
+  // allocate: setup cost, not steady-state cost.
+  expect_findings("d3_hotpath_alloc.cpp", "src/simkit/fiber.cpp", {});
+}
+
 TEST(Symlint, D4LaneInternalsOutsideEngineFiles) {
   expect_findings("d4_lane_affinity.cpp", "src/workloads/fixture_d4.cpp",
                   {{"D4", 12},    // sim::Lane* in a signature

@@ -93,6 +93,12 @@ struct Scope {
   bool d2 = false;
   bool d3 = false;
   bool d4 = false;
+  /// D3's allocation face, scoped to the lane-executed hot-path files
+  /// (lane/window/engine, arena, smallfn, dheap): raw new/malloc there
+  /// defeats the arena discipline that makes the steady state malloc-free.
+  /// The counted SmallFn spill is the one sanctioned heap touch and carries
+  /// an allow(fiber-blocking) annotation.
+  bool d3_alloc = false;
 };
 
 [[nodiscard]] Scope classify(std::string_view path);
