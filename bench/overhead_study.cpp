@@ -108,6 +108,8 @@ class LegacyProfileStore {
   [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
   [[nodiscard]] double checksum() const noexcept {
     double c = 0;
+    // symlint: allow(unordered-iter) reason=anti-DCE checksum only; the
+    // value never reaches exported output
     for (const auto& [k, s] : data_) {
       c += s.at(prof::Interval::kOriginExec).sum_ns +
            s.at(prof::Interval::kTargetExec).sum_ns;

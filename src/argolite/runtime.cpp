@@ -81,6 +81,8 @@ Xstream& Runtime::create_xstream(std::vector<Pool*> pools) {
 
 Ult& Runtime::create_ult(Pool& pool, std::function<void()> body) {
   ++ults_created_;
+  // symlint: allow(may-allocate) reason=ULT construction is control-plane
+  // work counted in ults_created_; dispatch loops reuse live ULTs
   auto* ult = new Ult(next_ult_id_++, pool, std::move(body));
   ult->set_created_at(engine_.now());
   pool.push(*ult);

@@ -49,6 +49,8 @@ ViolationHandler set_violation_handler(ViolationHandler handler) {
 }
 
 void bind_home_lane(const void* obj, std::uint32_t lane) {
+  // symlint: allow(may-block) reason=debug-registry update at object bind
+  // time; tiny non-yielding critical section off the steady-state event path
   const std::lock_guard<std::mutex> lock(g_mu);
   registry()[obj] = lane;
 }
@@ -63,6 +65,8 @@ void assert_home_lane(const void* obj, const char* what) {
   if (actual == kNoLane) return;  // setup / coordinator context
   Violation v;
   {
+    // symlint: allow(may-block) reason=debug-check registry probe; tiny
+    // non-yielding critical section guarded by the debug_checks build flag
     const std::lock_guard<std::mutex> lock(g_mu);
     const auto it = registry().find(obj);
     if (it == registry().end() || it->second == actual) return;

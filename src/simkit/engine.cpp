@@ -143,6 +143,8 @@ void Engine::build_lanes(std::uint32_t count) {
   lanes_.clear();
   lanes_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
+    // symlint: allow(may-allocate) reason=one-time lane construction at
+    // engine setup, before any event executes
     lanes_.push_back(std::make_unique<Lane>(i, lane_seed(seed_, i), count));
   }
   const std::uint32_t w = config_.worker_count == 0 ? 1 : config_.worker_count;

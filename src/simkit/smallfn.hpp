@@ -91,8 +91,8 @@ class SmallFn {
     } else {
       // Spill path for captures beyond the inline budget. The scheduling
       // lane counts every spill into ArenaStats::fn_heap_spills, and the
-      // hot-path allocation lint keeps this the only sanctioned `new` here.
-      // symlint: allow(fiber-blocking) reason=counted slow-path spill for oversized captures; steady-state gate asserts it never fires
+      // B2 may-allocate lint keeps this the only sanctioned `new` here.
+      // symlint: allow(may-allocate) reason=counted slow-path spill for oversized captures; steady-state gate asserts it never fires
       ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
       vt_ = &smallfn_detail::kHeapVt<Fn>;
     }

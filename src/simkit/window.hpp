@@ -64,6 +64,8 @@ class HandoffBarrier {
     }
     std::uint32_t spins = 0;
     while (phase_.load(std::memory_order_acquire) == phase) {
+      // symlint: allow(may-block) reason=bounded spin then cooperative
+      // yield; the barrier IS the sanctioned window-handoff wait point
       if (++spins > spin_limit_) std::this_thread::yield();
     }
   }

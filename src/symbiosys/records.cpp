@@ -34,6 +34,8 @@ int depth(Breadcrumb bc) noexcept {
 void NameRegistry::register_name(std::string_view name) {
   // symlint: allow(fiber-blocking) reason=registry is shared across lane
   // worker threads; tiny non-yielding critical section (see breadcrumb.hpp)
+  // symlint: allow(may-block) reason=name interning happens at instrument
+  // registration, not per event; critical section never yields
   const std::lock_guard<std::mutex> lock(mu_);
   names_.emplace(hash16(name), std::string(name));
 }

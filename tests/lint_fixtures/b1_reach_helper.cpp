@@ -1,0 +1,13 @@
+// symlint fixture: B1 may-block reachability, helper TU. Analyzed under
+// the virtual path "src/margolite/flush.cpp". flush_stage_one() calls
+// flush_stage_two() which blocks in usleep(): the leaf is two hops below
+// the lane root defined in b1_reach_root.cpp (the other TU).
+// Expected witness lines are pinned by test_symlint.cpp.
+
+void flush_stage_two() {  // line 7
+  usleep(50);             // line 8: B1 blocking leaf (usleep syscall)
+}
+
+void flush_stage_one() {  // line 11
+  flush_stage_two();      // line 12: second witness hop
+}

@@ -1,0 +1,17 @@
+// symlint fixture: B1 may-block reachability, root TU. Analyzed under the
+// virtual path "src/simkit/lane.fixture.cpp" so Lane::pop_and_run matches
+// the hot-path root table (path fragment "simkit/lane.") without the file
+// being a hot-path TU itself (the direct face stays quiet). The blocking
+// leaf sits two helper hops away in b1_reach_helper.cpp — a different TU
+// — proving transitive cross-TU propagation with a full witness chain.
+// Expected (rule, line) pairs are pinned by test_symlint.cpp.
+void flush_stage_one();
+
+class Lane {
+ public:
+  void pop_and_run();
+};
+
+void Lane::pop_and_run() {  // line 15: B1 root (reach finding lands here)
+  flush_stage_one();        // line 16: first witness hop
+}

@@ -1,0 +1,33 @@
+// symlint fixture: B2 may-allocate reachability through a function
+// pointer. Analyzed under the virtual path
+// "src/workloads/loadgen.fixture.cpp" so LoadgenWorld::pump_tick matches
+// the hot-path root table (fragment "workloads/loadgen"). The allocating
+// callee is never called directly: its address is stored into a SmallFn-
+// style slot (`emplace` is an opaque callee), so only the &make_burst
+// fn_ref edge carries the reachability.
+// Expected (rule, line) pairs are pinned by test_symlint.cpp.
+
+struct Event {
+  int payload = 0;
+};
+
+Event* make_burst() {  // line 14
+  return new Event();  // line 15: B2 allocating leaf (raw new)
+}
+
+struct Slot {
+  void emplace(Event* (*fn)()) { stored = fn; }
+  Event* (*stored)() = nullptr;
+};
+
+class LoadgenWorld {
+ public:
+  void pump_tick();
+
+ private:
+  Slot slot_;
+};
+
+void LoadgenWorld::pump_tick() {  // line 31: B2 root (finding lands here)
+  slot_.emplace(&make_burst);     // line 32: fn-pointer witness edge
+}

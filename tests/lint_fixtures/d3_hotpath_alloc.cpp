@@ -1,7 +1,9 @@
-// symlint fixture: D3 hot-path allocation violations. Linted under the
-// virtual path "src/simkit/lane.cpp" (a lane-executed hot-path file, where
-// raw heap allocation defeats the arena discipline) and again under
-// "src/simkit/fiber.cpp" (simkit, but not hot-path: no findings).
+// symlint fixture: hot-path allocation violations, now caught by the B2
+// may-allocate rule's direct face (the retired per-TU D3 allocation face
+// covered the same sites). Analyzed under the virtual path
+// "src/simkit/lane.cpp" (a lane-executed hot-path file, where raw heap
+// allocation defeats the arena discipline) and again under
+// "src/simkit/fiber.cpp" (simkit, but not a hot-path file: no findings).
 // Expected (rule, line) pairs are pinned by test_symlint.cpp.
 #include <cstdlib>
 #include <new>
@@ -13,15 +15,15 @@ struct Slot {
 };
 
 inline Slot* bad_new() {
-  return new Slot();  // line 16: D3 (raw new on the hot path)
+  return new Slot();  // line 18: B2 (raw new on the hot path)
 }
 
 inline void* bad_malloc(std::size_t n) {
-  return malloc(n);  // line 20: D3 (raw malloc on the hot path)
+  return malloc(n);  // line 22: B2 (raw malloc on the hot path)
 }
 
 inline void* bad_realloc(void* p, std::size_t n) {
-  return realloc(p, n);  // line 24: D3 (raw realloc on the hot path)
+  return realloc(p, n);  // line 26: B2 (raw realloc on the hot path)
 }
 
 inline Slot* fine_placement(void* storage) {
@@ -31,7 +33,7 @@ inline Slot* fine_placement(void* storage) {
 }
 
 inline Slot* fine_annotated_spill() {
-  // symlint: allow(fiber-blocking) reason=fixture models the counted SmallFn spill escape hatch
+  // symlint: allow(may-allocate) reason=fixture models the counted SmallFn spill escape hatch
   return new Slot();
 }
 

@@ -1,0 +1,18 @@
+// symlint fixture: P1 pvar-contract drift. Analyzed under the virtual
+// path "src/merclite/pvar_drift.cpp" (P1 only counts registrations from
+// src/ TUs). Registers one PVAR and one action span that the test's
+// inline doc text does NOT declare (code-side findings), and one policy
+// rule whose dynamic "policy:" + name span expansion IS declared (no
+// finding). The doc text additionally declares a PVAR and a span that
+// this TU never registers (doc-side findings).
+// Expected (rule, line) pairs are pinned by test_symlint.cpp.
+
+void register_drift(PvarRegistry& reg, Instrumentation& mid,
+                    PolicyEngine& pe, const std::string& name) {
+  reg.add({"fixture_undocumented_pvar", "no doc row for this one",  // L12: P1
+           PvarClass::kCounter, PvarBind::kNoObject},
+          read_counter);
+  mid.record_action_span("fixture_undeclared_span", 1);  // line 15: P1
+  mid.record_action_span("policy:" + name, 2);  // dynamic: expands per rule
+  pe.add_rule("fixture_capacity", fire_never);  // declared via policy:<rule>
+}

@@ -97,20 +97,9 @@ TEST(Symlint, D3DoesNotApplyInsideSimkit) {
   expect_findings("d3_fiber_blocking.cpp", "src/simkit/fixture_d3.cpp", {});
 }
 
-TEST(Symlint, D3FlagsRawAllocationOnHotPathFiles) {
-  // The allocation face of D3 applies only to the lane-executed hot-path
-  // files; placement new and annotated spill sites pass.
-  expect_findings("d3_hotpath_alloc.cpp", "src/simkit/lane.cpp",
-                  {{"D3", 16},    // raw new
-                   {"D3", 20},    // malloc()
-                   {"D3", 24}});  // realloc()
-}
-
-TEST(Symlint, D3AllocDoesNotApplyOffTheHotPath) {
-  // simkit files off the per-event path (fiber pool, debug checks) may
-  // allocate: setup cost, not steady-state cost.
-  expect_findings("d3_hotpath_alloc.cpp", "src/simkit/fiber.cpp", {});
-}
+// The hot-path allocation face moved from per-TU D3 into the cross-TU B2
+// may-allocate rule (direct face); its tests now live in the SymlintCrossTu
+// suite below, against the same fixture.
 
 TEST(Symlint, D4LaneInternalsOutsideEngineFiles) {
   expect_findings("d4_lane_affinity.cpp", "src/workloads/fixture_d4.cpp",
@@ -292,6 +281,169 @@ TEST(SymlintCrossTu, T1SuppressedOnlyByDeterminismTaintAllowAtSink) {
 }
 
 // ---------------------------------------------------------------------------
+// B1 / B2: hot-path may-block / may-allocate, direct and reach faces
+// ---------------------------------------------------------------------------
+
+TEST(SymlintCrossTu, B2DirectFaceFlagsRawAllocationOnHotPathFiles) {
+  // The retired per-TU D3 allocation face, now the B2 direct face: raw
+  // allocation inside a lane-executed hot-path file. Placement new and the
+  // annotated spill site pass.
+  const auto findings =
+      analyze_fixtures({{"d3_hotpath_alloc.cpp", "src/simkit/lane.cpp"}});
+  ASSERT_EQ(findings.size(), 3u) << [&] {
+    std::ostringstream os;
+    for (const auto& f : findings) os << f.format() << "\n";
+    return os.str();
+  }();
+  const std::vector<std::pair<int, std::string>> expected = {
+      {18, "alloc:src/simkit/lane.cpp:bad_new:new"},
+      {22, "alloc:src/simkit/lane.cpp:bad_malloc:malloc()"},
+      {26, "alloc:src/simkit/lane.cpp:bad_realloc:realloc()"},
+  };
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(symlint::rule_id(findings[i].rule), "B2");
+    EXPECT_EQ(findings[i].file, "src/simkit/lane.cpp");
+    EXPECT_EQ(findings[i].line, expected[i].first) << findings[i].format();
+    EXPECT_EQ(findings[i].key, expected[i].second);
+  }
+}
+
+TEST(SymlintCrossTu, B2DirectFaceDoesNotApplyOffTheHotPath) {
+  // The same fixture under a simkit file that is off the per-event path
+  // (fiber pool): allocation there is setup cost, not steady-state cost.
+  EXPECT_TRUE(
+      analyze_fixtures({{"d3_hotpath_alloc.cpp", "src/simkit/fiber.cpp"}})
+          .empty());
+}
+
+TEST(SymlintCrossTu, B1ReachCrossesTwoHelperHopsIntoAnotherTu) {
+  // Lane::pop_and_run (hot-path root) -> flush_stage_one -> flush_stage_two
+  // -> usleep(): the blocking leaf is two hops deep in a different TU, and
+  // the witness chain carries file:line at every hop.
+  const auto findings = analyze_fixtures(
+      {{"b1_reach_root.cpp", "src/simkit/lane.fixture.cpp"},
+       {"b1_reach_helper.cpp", "src/margolite/flush.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << [&] {
+    std::ostringstream os;
+    for (const auto& f : findings) os << f.format() << "\n";
+    return os.str();
+  }();
+  const auto& f = findings.front();
+  EXPECT_EQ(symlint::rule_id(f.rule), "B1");
+  EXPECT_EQ(f.file, "src/simkit/lane.fixture.cpp");
+  EXPECT_EQ(f.line, 15);  // the root definition
+  EXPECT_EQ(f.key, "block:src/simkit/lane.fixture.cpp:Lane::pop_and_run");
+  EXPECT_NE(
+      f.message.find("Lane::pop_and_run -> flush_stage_one "
+                     "[src/simkit/lane.fixture.cpp:16] -> flush_stage_two "
+                     "[src/margolite/flush.cpp:12]"),
+      std::string::npos)
+      << f.message;
+  EXPECT_NE(
+      f.message.find("blocking site 'usleep()' at src/margolite/flush.cpp:8"),
+      std::string::npos)
+      << f.message;
+}
+
+TEST(SymlintCrossTu, B1ReachSuppressedByAllowAtTheRoot) {
+  // allow(may-block) on the root definition accepts the whole reachability
+  // class for that root (the site annotation works the same way).
+  std::string root = read_fixture("b1_reach_root.cpp");
+  const std::string anchor = "void Lane::pop_and_run() {";
+  const auto at = root.find(anchor);
+  ASSERT_NE(at, std::string::npos);
+  root.insert(at,
+              "// symlint: allow(may-block) reason=drains under the window "
+              "barrier\n");
+  std::vector<symlint::TuIndex> tus;
+  tus.push_back(
+      symlint::build_tu_index("src/simkit/lane.fixture.cpp", root));
+  tus.push_back(symlint::build_tu_index("src/margolite/flush.cpp",
+                                        read_fixture("b1_reach_helper.cpp")));
+  EXPECT_TRUE(symlint::analyze_project(tus).empty());
+}
+
+TEST(SymlintCrossTu, B2ReachFollowsAFunctionPointerStoredInASlot) {
+  // The allocating callee is never called directly — only its address is
+  // taken (`slot_.emplace(&make_burst)`); the fn-ref edge carries the
+  // reachability and renders as "&make_burst" in the witness chain.
+  const auto findings = analyze_fixtures(
+      {{"b2_fnref_spill.cpp", "src/workloads/loadgen.fixture.cpp"}});
+  ASSERT_EQ(findings.size(), 1u) << [&] {
+    std::ostringstream os;
+    for (const auto& f : findings) os << f.format() << "\n";
+    return os.str();
+  }();
+  const auto& f = findings.front();
+  EXPECT_EQ(symlint::rule_id(f.rule), "B2");
+  EXPECT_EQ(f.file, "src/workloads/loadgen.fixture.cpp");
+  EXPECT_EQ(f.line, 31);  // the root definition
+  EXPECT_EQ(f.key,
+            "alloc:src/workloads/loadgen.fixture.cpp:LoadgenWorld::pump_tick");
+  EXPECT_NE(f.message.find("LoadgenWorld::pump_tick -> &make_burst "
+                           "[src/workloads/loadgen.fixture.cpp:32]"),
+            std::string::npos)
+      << f.message;
+  EXPECT_NE(f.message.find("allocating site 'new' at "
+                           "src/workloads/loadgen.fixture.cpp:15"),
+            std::string::npos)
+      << f.message;
+}
+
+// ---------------------------------------------------------------------------
+// P1: PVAR / action-span contract against the doc catalogue
+// ---------------------------------------------------------------------------
+
+TEST(SymlintCrossTu, P1PvarContractReportsDriftInBothDirections) {
+  std::vector<symlint::TuIndex> tus;
+  tus.push_back(symlint::build_tu_index("src/merclite/pvar_drift.cpp",
+                                        read_fixture("p1_pvar_drift.cpp")));
+  // Declares one never-registered PVAR (line 7) and span (line 13), plus
+  // the policy:fixture_capacity span the fixture registers dynamically
+  // ("policy:" + name expanded against add_rule literals) — no drift there.
+  const std::string doc =
+      "# fixture doc\n"
+      "\n"
+      "## PVARs\n"
+      "\n"
+      "| name | class |\n"
+      "|---|---|\n"
+      "| `fixture_documented_only_pvar` | COUNTER |\n"
+      "\n"
+      "## Action spans\n"
+      "\n"
+      "| name | notes |\n"
+      "|---|---|\n"
+      "| `fixture_declared_only_span` | never registered |\n"
+      "| `policy:fixture_capacity` | declared dynamic expansion |\n";
+  const auto findings =
+      symlint::check_pvar_contract(tus, doc, "docs/PVARS.md");
+  ASSERT_EQ(findings.size(), 4u) << [&] {
+    std::ostringstream os;
+    for (const auto& f : findings) os << f.format() << "\n";
+    return os.str();
+  }();
+  // Sorted by file then line: the two doc-side rows first.
+  EXPECT_EQ(findings[0].file, "docs/PVARS.md");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_EQ(findings[0].key, "pvar:unregistered:fixture_documented_only_pvar");
+  EXPECT_EQ(findings[1].file, "docs/PVARS.md");
+  EXPECT_EQ(findings[1].line, 13);
+  EXPECT_EQ(findings[1].key, "span:unregistered:fixture_declared_only_span");
+  EXPECT_EQ(findings[2].file, "src/merclite/pvar_drift.cpp");
+  EXPECT_EQ(findings[2].line, 12);
+  EXPECT_EQ(findings[2].key, "pvar:undocumented:fixture_undocumented_pvar");
+  EXPECT_EQ(findings[3].file, "src/merclite/pvar_drift.cpp");
+  EXPECT_EQ(findings[3].line, 15);
+  EXPECT_EQ(findings[3].key, "span:undocumented:fixture_undeclared_span");
+  for (const auto& f : findings) {
+    EXPECT_EQ(symlint::rule_id(f.rule), "P1");
+    EXPECT_EQ(f.message.find("fixture_capacity"), std::string::npos)
+        << "policy:<rule> expansion should have matched: " << f.message;
+  }
+}
+
+// ---------------------------------------------------------------------------
 // SARIF emission and the baseline
 // ---------------------------------------------------------------------------
 
@@ -318,7 +470,8 @@ TEST(SymlintEmit, SarifIsValidJsonWithStableStructure) {
   const auto* driver = run.find("tool")->find("driver");
   ASSERT_NE(driver, nullptr);
   EXPECT_EQ(driver->find("name")->str, "symlint");
-  EXPECT_EQ(driver->find("rules")->arr.size(), 8u);  // A0, D1-D4, L1, E1, T1
+  // A0, D1-D4, L1, E1, T1, B1, B2, P1
+  EXPECT_EQ(driver->find("rules")->arr.size(), 11u);
 
   const auto* results = run.find("results");
   ASSERT_NE(results, nullptr);
@@ -364,6 +517,28 @@ TEST(SymlintEmit, BaselineSuppressesByKeyAndReportsStaleEntries) {
   EXPECT_EQ(symlint::rule_id(findings.front().rule), "T1");
   ASSERT_EQ(unused.size(), 1u);  // the stale L1 entry is reported
   EXPECT_EQ(unused.front()->rule, "L1");
+}
+
+TEST(SymlintEmit, SerializeBaselineRoundTripsAndPreservesComment) {
+  // --prune-baseline rewrites the file through serialize_baseline; the
+  // canonical form must survive a load round-trip, comment included.
+  symlint::Baseline b;
+  b.comment = "triage ledger";
+  symlint::BaselineEntry e;
+  e.rule = "E1";
+  e.file = "src/x.cpp";
+  e.key = "static:src/x.cpp:g_state";
+  e.reason = "fixture";
+  b.entries.push_back(e);
+  const std::string text = symlint::serialize_baseline(b);
+  symlint::Baseline back;
+  std::string err;
+  ASSERT_TRUE(symlint::load_baseline(text, back, err)) << err << "\n" << text;
+  EXPECT_EQ(back.comment, "triage ledger");
+  ASSERT_EQ(back.entries.size(), 1u);
+  EXPECT_EQ(back.entries.front().rule, "E1");
+  EXPECT_EQ(back.entries.front().key, "static:src/x.cpp:g_state");
+  EXPECT_EQ(back.entries.front().reason, "fixture");
 }
 
 TEST(SymlintEmit, MalformedBaselineIsAnError) {
@@ -420,6 +595,51 @@ TEST(SymlintIndex, TouchingAHeaderReindexesOnlyItsDependents) {
   EXPECT_FALSE(tus[0].from_cache);  // a.hpp
   EXPECT_FALSE(tus[1].from_cache);  // b.cpp (transitive dependent)
   EXPECT_TRUE(tus[2].from_cache);   // c.cpp
+
+  fs::remove_all(dir);
+}
+
+TEST(SymlintIndex, DiffModeReanalyzesOnlyChangedFilesAndDependents) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::current_path() / "symlint_diff_test";
+  fs::remove_all(dir);
+  fs::create_directories(dir / "tree");
+  write_file(dir / "tree/a.hpp", "int shared_helper();\n");
+  write_file(dir / "tree/b.cpp",
+             "#include \"a.hpp\"\nint use() { return shared_helper(); }\n");
+  write_file(dir / "tree/c.cpp", "int lonely() { return 3; }\n");
+
+  symlint::IndexOptions opt;
+  opt.cache_dir = (dir / "cache").string();
+  opt.jobs = 2;
+  opt.roots = {(dir / "tree").string()};
+  const std::vector<std::string> files = {(dir / "tree/a.hpp").string(),
+                                          (dir / "tree/b.cpp").string(),
+                                          (dir / "tree/c.cpp").string()};
+
+  symlint::IndexStats stats;
+  (void)symlint::run_index(files, opt, &stats);  // warm the cache
+  EXPECT_EQ(stats.reindexed, 3u);
+
+  // Edit BOTH the header and the unrelated TU on disk, but declare only the
+  // header changed: diff mode must re-analyze a.hpp plus its reverse
+  // include-dependent b.cpp, and serve c.cpp from cache as-is — no
+  // content-hash validation for files outside the analysis set.
+  write_file(dir / "tree/a.hpp", "int shared_helper();\nint another();\n");
+  write_file(dir / "tree/c.cpp",
+             "int lonely() { return 3; }\nint extra() { return 4; }\n");
+  opt.diff_mode = true;
+  opt.changed = {"a.hpp"};
+  const auto tus = symlint::run_index(files, opt, &stats);
+  EXPECT_EQ(stats.reindexed, 2u);
+  EXPECT_EQ(stats.cache_hits, 1u);
+  ASSERT_EQ(tus.size(), 3u);
+  EXPECT_FALSE(tus[0].from_cache);  // a.hpp: changed
+  EXPECT_FALSE(tus[1].from_cache);  // b.cpp: reverse include-dependent
+  EXPECT_TRUE(tus[2].from_cache);   // c.cpp: outside the analysis set
+  // Proof the diff run never read c.cpp's new content: the served index
+  // still has only the one function from before the on-disk edit.
+  EXPECT_EQ(tus[2].functions.size(), 1u);
 
   fs::remove_all(dir);
 }

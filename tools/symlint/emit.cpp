@@ -327,6 +327,18 @@ const RuleMeta kRuleCatalog[] = {
     {Rule::kTaint,
      "Clock/rng-derived value flows through calls into a virtual-time "
      "event timestamp."},
+    {Rule::kMayBlock,
+     "Lane-/fiber-executed hot-path code reaches an OS-blocking leaf "
+     "(mutex lock, condition variable, sleep/blocking syscall); witness "
+     "chain carries file:line at every hop."},
+    {Rule::kMayAlloc,
+     "Lane-/fiber-executed hot-path code reaches a heap-allocating leaf "
+     "(raw new, malloc family, std::make_unique/make_shared, std::function "
+     "spill); per-event work must stay allocation-free."},
+    {Rule::kPvarContract,
+     "Code-registered PVAR or action-span name drifted from the "
+     "docs/PVARS.md catalogue (undocumented registration or stale doc "
+     "row)."},
 };
 
 }  // namespace
@@ -341,6 +353,7 @@ bool load_baseline(std::string_view text, Baseline& out, std::string& err) {
     err = "baseline: top level must be an object";
     return false;
   }
+  out.comment = get_string(doc, "comment");
   const json::Value* findings = doc.find("findings");
   if (findings == nullptr || findings->kind != json::Value::kArray) {
     err = "baseline: missing \"findings\" array";
@@ -413,6 +426,29 @@ std::size_t apply_baseline(const Baseline& baseline,
   return suppressed;
 }
 
+std::string serialize_baseline(const Baseline& baseline) {
+  std::ostringstream os;
+  os << "{\n";
+  if (!baseline.comment.empty()) {
+    os << "  \"comment\": \"" << json::escape(baseline.comment) << "\",\n";
+  }
+  os << "  \"findings\": [";
+  bool first = true;
+  for (const auto& e : baseline.entries) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\n"
+       << "      \"rule\": \"" << json::escape(e.rule) << "\",\n"
+       << "      \"file\": \"" << json::escape(e.file) << "\",\n"
+       << "      \"key\": \"" << json::escape(e.key) << "\",\n"
+       << "      \"reason\": \"" << json::escape(e.reason) << "\"\n"
+       << "    }";
+  }
+  if (!first) os << "\n  ";
+  os << "]\n}\n";
+  return os.str();
+}
+
 std::string to_sarif(const std::vector<Finding>& findings) {
   std::ostringstream os;
   os << "{\n"
@@ -425,7 +461,7 @@ std::string to_sarif(const std::vector<Finding>& findings) {
      << "        \"driver\": {\n"
      << "          \"name\": \"symlint\",\n"
      << "          \"informationUri\": \"docs/STATIC_ANALYSIS.md\",\n"
-     << "          \"version\": \"2.0.0\",\n"
+     << "          \"version\": \"3.0.0\",\n"
      << "          \"rules\": [\n";
   bool first = true;
   for (const auto& meta : kRuleCatalog) {

@@ -57,12 +57,17 @@ struct BaselineEntry {
 };
 
 struct Baseline {
+  std::string comment;  ///< top-level "comment" field, preserved on rewrite
   std::vector<BaselineEntry> entries;
 };
 
 /// Parse tools/symlint/baseline.json text. Returns false with a message on
 /// malformed input (a broken baseline must fail the gate, not pass it).
 bool load_baseline(std::string_view text, Baseline& out, std::string& err);
+
+/// Render a baseline back to its canonical on-disk JSON form (used by
+/// --prune-baseline to drop stale entries in place).
+[[nodiscard]] std::string serialize_baseline(const Baseline& baseline);
 
 /// Remove baselined findings from `findings` (in place). Returns the number
 /// suppressed; `unused` collects baseline entries that matched nothing (the

@@ -20,7 +20,7 @@ namespace fs = std::filesystem;
 
 // Bump on any change to what the indexer extracts: entries are validated by
 // content hash, so a format/semantic change must invalidate old entries.
-constexpr std::string_view kCacheMagic = "symlint-tui v5";
+constexpr std::string_view kCacheMagic = "symlint-tui v6";
 
 std::string normalize(std::string_view path) {
   std::string norm(path);
@@ -191,7 +191,12 @@ class IndexScanner {
               t_[k - 1].text != ")" && t_[k - 1].text != "]" &&
               t_[k - 1].text != "::";
           const bool next_eq = k + 1 < e && t_[k + 1].text == "=";
-          if (!prev_op && !next_eq) saw_eq = true;
+          // "typename = ..." / "class = ..." is a template default argument
+          // (enable_if-style SFINAE headers), not a variable initializer.
+          const bool tmpl_default =
+              k > b && t_[k - 1].kind == Token::kIdent &&
+              (t_[k - 1].text == "typename" || t_[k - 1].text == "class");
+          if (!prev_op && !next_eq && !tmpl_default) saw_eq = true;
         }
         continue;
       }
@@ -489,11 +494,27 @@ class IndexScanner {
     const Token* nx = at(i_ + 1);
     const bool called = nx != nullptr && nx->text == "(";
 
+    scan_cost_seed(called);
+
     if (tables::kD1TypeIdents.count(tok.text) != 0) {
       cur_.sources.push_back({std::string(tok.text), tok.line});
       return;
     }
-    if (!called) return;
+    if (!called) {
+      // `&ident` (not a call): a function pointer taken — a deferred call
+      // edge for B1/B2 reachability (SmallFn-stored callbacks). A preceding
+      // identifier / ')' / ']' means binary bitwise-and, not address-of.
+      const Token* amp = at(i_ - 1);
+      if (amp != nullptr && amp->kind == Token::kPunct && amp->text == "&") {
+        const Token* before = at(i_ - 2);
+        const bool binary =
+            before != nullptr &&
+            (before->kind == Token::kIdent || before->text == ")" ||
+             before->text == "]");
+        if (!binary) cur_.fn_refs.push_back({std::string(tok.text), tok.line});
+      }
+      return;
+    }
 
     if (tables::kD1CallIdents.count(tok.text) != 0 && free_call_at(i_)) {
       cur_.sources.push_back({std::string(tok.text), tok.line});
@@ -529,6 +550,52 @@ class IndexScanner {
       cs.line = tok.line;
       cs.held = held_names();
       cur_.calls.push_back(std::move(cs));
+    }
+  }
+
+  /// B1/B2 seed extraction: OS-blocking / heap-allocating leaf sites.
+  void scan_cost_seed(bool called) {
+    const Token& tok = t_[i_];
+    const Token* pv = at(i_ - 1);
+    const Token* qual = at(i_ - 2);
+    const bool std_qualified = pv != nullptr && pv->text == "::" &&
+                               qual != nullptr &&
+                               qual->kind == Token::kIdent &&
+                               qual->text == "std";
+    // B2: raw `new`. Placement `new (addr) T` constructs into storage
+    // someone else owns — the arena idiom itself — and "#include <new>" is
+    // a header name, not an expression.
+    if (tok.text == "new") {
+      const Token* nx = at(i_ + 1);
+      if (nx != nullptr && nx->text == "(") return;
+      if (pv != nullptr && pv->text == "<" && nx != nullptr &&
+          nx->text == ">") {
+        return;
+      }
+      cur_.allocating.push_back({"new", tok.line});
+      return;
+    }
+    if (std_qualified) {
+      // B1: std:: blocking entities and std:: lock guards. argolite's
+      // cooperative primitives (abt::Mutex, abt::LockGuard) are not std-
+      // qualified and never seed.
+      if (tables::kD3StdIdents.count(tok.text) != 0 ||
+          tables::kGuardTypes.count(tok.text) != 0) {
+        cur_.blocking.push_back({"std::" + std::string(tok.text), tok.line});
+        return;
+      }
+      if (tables::kAllocStdIdents.count(tok.text) != 0) {
+        cur_.allocating.push_back({"std::" + std::string(tok.text), tok.line});
+        return;
+      }
+    }
+    if (!called) return;
+    if (tables::kD3CallIdents.count(tok.text) != 0 && free_call_at(i_)) {
+      cur_.blocking.push_back({std::string(tok.text) + "()", tok.line});
+      return;
+    }
+    if (tables::kAllocCallIdents.count(tok.text) != 0 && free_call_at(i_)) {
+      cur_.allocating.push_back({std::string(tok.text) + "()", tok.line});
     }
   }
 
@@ -763,6 +830,15 @@ std::string serialize_tu_index(const TuIndex& tu) {
     os << "M\t" << esc(m.name) << '\t' << esc(m.cls) << '\t' << m.line << '\t'
        << (m.is_member ? 1 : 0) << '\n';
   }
+  auto put_regs = [&](char tag, const std::vector<NameReg>& regs) {
+    for (const auto& r : regs) {
+      os << tag << '\t' << esc(r.name) << '\t' << r.line << '\t'
+         << (r.dynamic ? 1 : 0) << '\n';
+    }
+  };
+  put_regs('v', tu.pvar_regs);
+  put_regs('x', tu.span_regs);
+  put_regs('y', tu.rule_regs);
   for (const auto& fn : tu.functions) {
     os << "F\t" << esc(fn.name) << '\t' << esc(fn.cls) << '\t' << fn.line
        << '\t' << (fn.binds_lane ? 1 : 0) << '\n';
@@ -779,6 +855,15 @@ std::string serialize_tu_index(const TuIndex& tu) {
     }
     for (const auto& s : fn.sources) {
       os << "s\t" << esc(s.primitive) << '\t' << s.line << '\n';
+    }
+    for (const auto& s : fn.blocking) {
+      os << "b\t" << esc(s.primitive) << '\t' << s.line << '\n';
+    }
+    for (const auto& s : fn.allocating) {
+      os << "B\t" << esc(s.primitive) << '\t' << s.line << '\n';
+    }
+    for (const auto& r : fn.fn_refs) {
+      os << "g\t" << esc(r.name) << '\t' << r.line << '\n';
     }
     for (const auto& k : fn.sinks) {
       os << "k\t" << esc(k.name) << '\t' << k.line << '\t' << k.args << '\t'
@@ -858,6 +943,20 @@ bool deserialize_tu_index(std::string_view data, TuIndex& out) {
       fn->static_refs.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
     } else if (tag == "s" && f.size() >= 3 && fn != nullptr) {
       fn->sources.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
+    } else if (tag == "b" && f.size() >= 3 && fn != nullptr) {
+      fn->blocking.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
+    } else if (tag == "B" && f.size() >= 3 && fn != nullptr) {
+      fn->allocating.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
+    } else if (tag == "g" && f.size() >= 3 && fn != nullptr) {
+      fn->fn_refs.push_back({unesc(f[1]), static_cast<int>(to_long(f[2]))});
+    } else if ((tag == "v" || tag == "x" || tag == "y") && f.size() >= 4) {
+      NameReg r;
+      r.name = unesc(f[1]);
+      r.line = static_cast<int>(to_long(f[2]));
+      r.dynamic = f[3] == "1";
+      if (tag == "v") out.pvar_regs.push_back(std::move(r));
+      else if (tag == "x") out.span_regs.push_back(std::move(r));
+      else out.rule_regs.push_back(std::move(r));
     } else if (tag == "k" && f.size() >= 6 && fn != nullptr) {
       SinkCall sc;
       sc.name = unesc(f[1]);
@@ -896,6 +995,18 @@ TuIndex build_tu_index(std::string_view path, std::string_view content) {
   tu.norm = normalize(path);
   tu.self_hash = fnv1a64(content);
   tu.raw_includes = extract_includes(content);
+
+  // P1 registrations: string-literal-bearing calls (the main lexer strips
+  // strings, so this is a separate raw-text scan).
+  for (const auto& sc : extract_string_calls(content)) {
+    if (sc.func == "add" && sc.brace_init) {
+      tu.pvar_regs.push_back({sc.literal, sc.line, sc.concat});
+    } else if (sc.func == "record_action_span" && !sc.brace_init) {
+      tu.span_regs.push_back({sc.literal, sc.line, sc.concat});
+    } else if (sc.func == "add_rule" && !sc.brace_init) {
+      tu.rule_regs.push_back({sc.literal, sc.line, sc.concat});
+    }
+  }
 
   const Lexed lx = lex(content);
   IndexScanner scanner(lx, tu);
@@ -1005,6 +1116,38 @@ std::vector<TuIndex> run_index(std::vector<std::string> files,
     return order;
   };
 
+  // Diff-aware mode: the analysis set is the changed files (matched by
+  // normalized-path suffix) plus every reverse transitive include dependent.
+  // Files outside the set are loaded from cache *without* hash validation —
+  // their content is known-unchanged relative to the diff base, so a stale
+  // hash only means the base itself moved (handled by the periodic full run).
+  std::set<std::size_t> analysis_set;
+  if (options.diff_mode) {
+    std::vector<std::vector<std::size_t>> rdeps(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto d : direct_deps[i]) rdeps[d].push_back(i);
+    }
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (const auto& c : options.changed) {
+        const std::string cn = normalize(c);
+        if (norms[i] == cn ||
+            (norms[i].size() > cn.size() + 1 &&
+             norms[i].compare(norms[i].size() - cn.size() - 1, cn.size() + 1,
+                              "/" + cn) == 0)) {
+          work.push_back(i);
+          break;
+        }
+      }
+    }
+    while (!work.empty()) {
+      const std::size_t d = work.back();
+      work.pop_back();
+      if (!analysis_set.insert(d).second) continue;
+      for (const auto rd : rdeps[d]) work.push_back(rd);
+    }
+  }
+
   const bool caching = !options.cache_dir.empty();
   if (caching) {
     std::error_code ec;
@@ -1030,6 +1173,21 @@ std::vector<TuIndex> run_index(std::vector<std::string> files,
                                   "cannot open file for linting", {}});
         out[i] = std::move(tu);
         continue;
+      }
+      if (options.diff_mode && caching && analysis_set.count(i) == 0) {
+        // Outside the diff's analysis set: blind cache load, no validation.
+        std::string cached;
+        TuIndex tu;
+        if (read_file(cache_path(norms[i]), cached) &&
+            deserialize_tu_index(cached, tu)) {
+          tu.path = files[i];
+          tu.norm = norms[i];
+          tu.from_cache = true;
+          hits.fetch_add(1);
+          out[i] = std::move(tu);
+          continue;
+        }
+        // No usable cache entry: fall through to a full (re)index.
       }
       if (caching) {
         std::string cached;

@@ -82,7 +82,27 @@ struct FunctionInfo {
   std::vector<SourceCall> sources;
   std::vector<SinkCall> sinks;
   std::vector<TaintAssign> taints;
+  /// B1 seeds: OS-blocking leaf sites in this body ("std::mutex",
+  /// "usleep()"), and B2 seeds: heap-allocating leaf sites ("new",
+  /// "malloc()", "std::make_unique").
+  std::vector<SourceCall> blocking;
+  std::vector<SourceCall> allocating;
+  /// `&ident` references: deferred call edges (function pointers handed to
+  /// SmallFn / callbacks). Resolved by name like ordinary calls.
+  std::vector<StaticRef> fn_refs;
   bool binds_lane = false;  ///< calls bind_home_lane / assert_home_lane
+};
+
+/// P1: a name registered with a string literal in code — a PVAR
+/// registration (`reg.add({"name", ...})`), an action span
+/// (`record_action_span("name", ...)`), or a policy rule
+/// (`add_rule("name", ...)`).
+struct NameReg {
+  std::string name;
+  int line = 0;
+  /// The literal is only a prefix completed at run time
+  /// ("policy:" + rule_name); expanded against the registered rule names.
+  bool dynamic = false;
 };
 
 struct MutableStatic {
@@ -113,6 +133,9 @@ struct TuIndex {
   /// Effective allow coverage: (line, rule-name), already expanded so an
   /// annotation covers its own line plus the code line beneath it.
   std::vector<std::pair<int, std::string>> allows;
+  std::vector<NameReg> pvar_regs;  ///< P1: PVAR registrations
+  std::vector<NameReg> span_regs;  ///< P1: action-span names
+  std::vector<NameReg> rule_regs;  ///< P1: policy-rule names (span prefixes)
   std::vector<Finding> tu_findings;  ///< cached per-TU D-rule findings
   bool from_cache = false;
 };
@@ -132,6 +155,14 @@ struct IndexOptions {
   /// Roots that #include "..." paths are resolved against (in addition to
   /// the including file's own directory).
   std::vector<std::string> roots;
+  /// Diff-aware mode: when true, only files in `changed` (matched by
+  /// normalized-path suffix) plus their reverse transitive include
+  /// dependents are (re)validated and re-indexed; every other file is
+  /// loaded from cache as-is, *without* content-hash validation. Requires a
+  /// warm cache — files outside the analysis set with no cache entry fall
+  /// back to a full index.
+  bool diff_mode = false;
+  std::vector<std::string> changed;
 };
 
 struct IndexStats {

@@ -70,7 +70,8 @@ bool is_known_allow_rule(std::string_view rule) noexcept {
   static const std::set<std::string_view> kKnownRules = {
       "nondeterminism",      "unordered-iter",  "fiber-blocking",
       "lane-affinity",       "lock-order",      "shared-state-escape",
-      "determinism-taint",
+      "determinism-taint",   "may-block",       "may-allocate",
+      "pvar-contract",
   };
   return kKnownRules.count(rule) != 0;
 }
@@ -169,6 +170,114 @@ Lexed lex(std::string_view src) {
       continue;
     }
     out.tokens.push_back({Token::kPunct, src.substr(i, 1), line});
+    ++i;
+  }
+  return out;
+}
+
+std::vector<StringCallSite> extract_string_calls(std::string_view src) {
+  std::vector<StringCallSite> out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  // Pending pattern state: ident seen, then '(' (state 1), then optionally
+  // '{' (state 2). A string literal arriving in state 1/2 is a capture; any
+  // other token resets.
+  int state = 0;
+  std::string ident;
+  std::string pending_func;
+  int pending_line = 0;
+
+  auto advance_over = [&](std::size_t stop) {
+    for (; i < stop && i < n; ++i) {
+      if (src[i] == '\n') ++line;
+    }
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments may sit between the '(' and the literal; skip, keep state.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const auto end = src.find('\n', i);
+      i = end == std::string_view::npos ? n : end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const auto end = src.find("*/", i + 2);
+      advance_over(end == std::string_view::npos ? n : end + 2);
+      continue;
+    }
+    if (c == '"') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '"') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      if (state == 1 || state == 2) {
+        StringCallSite sc;
+        sc.func = pending_func;
+        sc.literal = std::string(src.substr(i + 1, j - i - 1));
+        sc.line = pending_line;
+        sc.brace_init = state == 2;
+        // Peek past the closing quote for '+' (runtime concatenation).
+        std::size_t k = j + 1;
+        while (k < n && std::isspace(static_cast<unsigned char>(src[k]))) ++k;
+        sc.concat = k < n && src[k] == '+';
+        out.push_back(std::move(sc));
+      }
+      state = 0;
+      ident.clear();
+      advance_over(std::min(j + 1, n));
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      while (j < n && src[j] != '\'') {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      state = 0;
+      ident.clear();
+      advance_over(std::min(j + 1, n));
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i + 1;
+      while (j < n && ident_char(src[j])) ++j;
+      ident = std::string(src.substr(i, j - i));
+      state = 0;
+      i = j;
+      continue;
+    }
+    if (c == '(') {
+      if (!ident.empty()) {
+        state = 1;
+        pending_func = ident;
+        pending_line = line;
+      } else {
+        state = 0;
+      }
+      ident.clear();
+      ++i;
+      continue;
+    }
+    if (c == '{' && state == 1) {
+      state = 2;
+      ++i;
+      continue;
+    }
+    state = 0;
+    ident.clear();
     ++i;
   }
   return out;

@@ -53,6 +53,21 @@ struct Lexed {
 /// includes are system headers and never part of the project include graph.
 [[nodiscard]] std::vector<std::string> extract_includes(std::string_view src);
 
+/// A call whose first argument starts with a string literal:
+/// `func("lit"...)` or aggregate-init `func({"lit"...)`. The main lexer
+/// strips string literals, so the P1 pvar-contract rule uses this separate
+/// comment-aware raw-text scan to see registration names.
+struct StringCallSite {
+  std::string func;     ///< identifier immediately before the '('
+  std::string literal;  ///< the first string literal's content
+  int line = 0;
+  bool brace_init = false;  ///< literal was opened with "({"
+  bool concat = false;      ///< literal is followed by '+' (runtime-built
+                            ///< name; the literal is only a prefix)
+};
+[[nodiscard]] std::vector<StringCallSite> extract_string_calls(
+    std::string_view src);
+
 /// FNV-1a 64-bit content hash — the cache key for the incremental index.
 [[nodiscard]] constexpr std::uint64_t fnv1a64(std::string_view data) noexcept {
   std::uint64_t h = 0xcbf29ce484222325ull;

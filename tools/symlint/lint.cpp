@@ -33,7 +33,6 @@ class Scanner {
       if (scope_.d1) check_d1(i);
       if (scope_.d2) check_d2(i);
       if (scope_.d3) check_d3(i);
-      if (scope_.d3_alloc) check_d3_alloc(i);
       if (scope_.d4) check_d4(i);
     }
     // Malformed annotations are findings regardless of scope.
@@ -196,37 +195,6 @@ class Scanner {
     }
   }
 
-  // --- D3 (allocation face, hot-path files only) ---
-  /// Raw heap allocation on the lane-executed hot path. `new (addr) T` is
-  /// placement construction into storage someone else owns — that is the
-  /// arena idiom itself, so only a `new` NOT followed by '(' counts.
-  void check_d3_alloc(std::size_t i) {
-    const auto& tok = lx_.tokens[i];
-    if (tok.text == "new") {
-      const Token* nx = next(i);
-      if (nx != nullptr && nx->text == "(") return;  // placement new
-      const Token* pv = prev(i);
-      if (pv != nullptr && pv->text == "<" && nx != nullptr &&
-          nx->text == ">") {
-        return;  // "#include <new>" header name, not an expression
-      }
-      add(Rule::kFiberBlocking, tok.line,
-          "raw 'new' on the lane-executed hot path (event and request state "
-          "must come from LaneArena/SmallFn inline storage; a deliberate "
-          "counted spill needs an allow(fiber-blocking) annotation)");
-      return;
-    }
-    static const std::set<std::string_view> kAllocCalls = {
-        "malloc", "calloc", "realloc", "aligned_alloc", "posix_memalign",
-    };
-    if (kAllocCalls.count(tok.text) != 0 && is_free_call(i)) {
-      add(Rule::kFiberBlocking, tok.line,
-          "raw '" + std::string(tok.text) +
-              "()' on the lane-executed hot path (allocate through the "
-              "lane arenas so the steady state stays malloc-free)");
-    }
-  }
-
   // --- D4 ---
   void check_d4(std::size_t i) {
     const auto& tok = lx_.tokens[i];
@@ -303,6 +271,9 @@ std::string_view rule_id(Rule r) noexcept {
     case Rule::kLockOrder: return "L1";
     case Rule::kSharedEscape: return "E1";
     case Rule::kTaint: return "T1";
+    case Rule::kMayBlock: return "B1";
+    case Rule::kMayAlloc: return "B2";
+    case Rule::kPvarContract: return "P1";
   }
   return "??";
 }
@@ -317,6 +288,9 @@ std::string_view rule_name(Rule r) noexcept {
     case Rule::kLockOrder: return "lock-order";
     case Rule::kSharedEscape: return "shared-state-escape";
     case Rule::kTaint: return "determinism-taint";
+    case Rule::kMayBlock: return "may-block";
+    case Rule::kMayAlloc: return "may-allocate";
+    case Rule::kPvarContract: return "pvar-contract";
   }
   return "unknown";
 }
@@ -327,6 +301,8 @@ bool rule_from_id(std::string_view id, Rule& out) noexcept {
       {"D2", Rule::kUnorderedIter}, {"D3", Rule::kFiberBlocking},
       {"D4", Rule::kLaneAffinity},  {"L1", Rule::kLockOrder},
       {"E1", Rule::kSharedEscape},  {"T1", Rule::kTaint},
+      {"B1", Rule::kMayBlock},      {"B2", Rule::kMayAlloc},
+      {"P1", Rule::kPvarContract},
   };
   for (const auto& [name, rule] : kIds) {
     if (name == id) {
@@ -360,6 +336,17 @@ Scope classify(std::string_view path) {
     return s;
   }
 
+  // Benchmarks: measurement harnesses legitimately read wall clocks (that
+  // is the measurement), so D1 is off — but their *emitted tables* feed the
+  // paper figures, so iteration order must still be deterministic (D2), and
+  // they are indexed for the cross-TU rules like any other TU.
+  if (norm.find("bench/") != std::string::npos &&
+      norm.find("src/") == std::string::npos) {
+    s.scan = true;
+    s.d2 = true;
+    return s;
+  }
+
   const auto pos = norm.find("src/");
   if (pos == std::string::npos) return s;
   const std::string rel = norm.substr(pos);  // "src/..."
@@ -377,18 +364,6 @@ Scope classify(std::string_view path) {
   s.d4 = true;
   for (const char* f : kLaneFiles) {
     if (ends_with(rel, f)) s.d4 = false;
-  }
-  // Lane-executed hot path: the files every posted/delivered/merged event
-  // runs through. Raw heap allocation here is a per-event cost the arenas
-  // exist to eliminate, so it is a finding even though the rest of D3 is
-  // off inside simkit.
-  static const char* kHotPathFiles[] = {
-      "simkit/lane.hpp",   "simkit/lane.cpp",    "simkit/window.hpp",
-      "simkit/window.cpp", "simkit/engine.hpp",  "simkit/engine.cpp",
-      "simkit/arena.hpp",  "simkit/smallfn.hpp", "simkit/dheap.hpp",
-  };
-  for (const char* f : kHotPathFiles) {
-    if (ends_with(rel, f)) s.d3_alloc = true;
   }
   return s;
 }

@@ -30,6 +30,17 @@
 //                            from worker-executed code without a lane bind
 //   T1 determinism-taint     clock/rng-derived value flowing through calls
 //                            into an event timestamp
+//   B1 may-block             lane/fiber-executed root reaches an OS-blocking
+//                            leaf (std::mutex, condition_variable, blocking
+//                            syscall) through the call graph; the finding
+//                            carries the witness chain with file:line hops
+//   B2 may-allocate          same propagation for heap allocation leaves
+//                            (raw new, malloc family, make_unique/shared,
+//                            std::function spill) — replaces the retired
+//                            per-TU D3 "alloc face" file list
+//   P1 pvar-contract         PVAR registrations and action-span names in
+//                            code cross-checked against docs/PVARS.md;
+//                            drift in either direction is a finding
 //
 // Escape hatch: a finding is suppressed by an annotation on the same line
 // or on the line directly above — a comment carrying the symlint marker
@@ -57,6 +68,9 @@ enum class Rule {
   kLockOrder,       // L1 (cross-TU)
   kSharedEscape,    // E1 (cross-TU)
   kTaint,           // T1 (cross-TU)
+  kMayBlock,        // B1 (cross-TU)
+  kMayAlloc,        // B2 (cross-TU)
+  kPvarContract,    // P1 (cross-TU, registry vs docs/PVARS.md)
 };
 
 /// Short rule id ("D1") and annotation name ("nondeterminism") for a rule.
@@ -93,12 +107,10 @@ struct Scope {
   bool d2 = false;
   bool d3 = false;
   bool d4 = false;
-  /// D3's allocation face, scoped to the lane-executed hot-path files
-  /// (lane/window/engine, arena, smallfn, dheap): raw new/malloc there
-  /// defeats the arena discipline that makes the steady state malloc-free.
-  /// The counted SmallFn spill is the one sanctioned heap touch and carries
-  /// an allow(fiber-blocking) annotation.
-  bool d3_alloc = false;
+  // The old per-TU D3 "alloc face" (a hard-coded hot-path file list) is
+  // retired: allocation discipline is now the interprocedural B2
+  // may-allocate rule over the cross-TU call graph (rules.hpp), which sees
+  // a malloc hidden one helper call away in another TU.
 };
 
 [[nodiscard]] Scope classify(std::string_view path);

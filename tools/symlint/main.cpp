@@ -1,21 +1,31 @@
 // symlint CLI. Usage:
 //
 //   symlint [--root DIR]... [--cache-dir DIR] [--baseline FILE]
-//           [--sarif FILE] [--jobs N] [--no-cross] [--stats] [FILE]...
+//           [--sarif FILE] [--jobs N] [--no-cross] [--stats]
+//           [--pvars-doc FILE] [--changed-list FILE] [--prune-baseline]
+//           [FILE]...
 //
 // Pass 0 lints every .cpp/.hpp under each --root (recursively) plus any
 // explicit files with the per-TU rules; pass 1 builds (or refreshes) the
 // cross-TU index, cached incrementally under --cache-dir; pass 2 runs the
 // interprocedural rules (L1 lock-order, E1 shared-state-escape, T1
-// determinism-taint). Findings print one per line, optionally also as SARIF
-// 2.1.0, and are gated by the checked-in baseline. Exits 1 if any
-// unbaselined finding survives the allow() annotations, 2 on usage errors.
-// Run as the `symlint` ctest target over src/ (see tools/symlint/
-// CMakeLists.txt and scripts/run_lint.sh).
+// determinism-taint, B1/B2 hot-path may-block/may-allocate, and — when
+// --pvars-doc names the PVAR catalogue — P1 pvar-contract). Findings print
+// one per line, optionally also as SARIF 2.1.0, and are gated by the
+// checked-in baseline; a baseline entry that matches nothing is itself a
+// gate failure (fix the baseline, or pass --prune-baseline to rewrite it
+// without the stale entries). --changed-list FILE (newline-separated paths,
+// e.g. from `git diff --name-only`) switches pass 1 to diff-aware mode:
+// only the changed TUs and their reverse include-dependents are
+// re-analyzed, everything else is served from cache as-is. Exits 1 if any
+// unbaselined finding survives the allow() annotations or the baseline is
+// stale, 2 on usage errors. Run as the `symlint` ctest target over src/
+// (see tools/symlint/CMakeLists.txt and scripts/run_lint.sh).
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -55,9 +65,12 @@ int main(int argc, char** argv) {
   std::string cache_dir;
   std::string baseline_path;
   std::string sarif_path;
+  std::string pvars_doc_path;
+  std::string changed_list_path;
   unsigned jobs = 1;
   bool cross = true;
   bool stats_wanted = false;
+  bool prune_baseline = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -100,12 +113,20 @@ int main(int argc, char** argv) {
       cross = false;
     } else if (arg == "--stats") {
       stats_wanted = true;
+    } else if (arg == "--pvars-doc") {
+      pvars_doc_path = next("a file");
+    } else if (arg == "--changed-list") {
+      changed_list_path = next("a file");
+    } else if (arg == "--prune-baseline") {
+      prune_baseline = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: symlint [--root DIR]... [--cache-dir DIR] [--baseline "
           "FILE]\n"
-          "               [--sarif FILE] [--jobs N] [--no-cross] [--stats] "
-          "[FILE]...\n");
+          "               [--sarif FILE] [--jobs N] [--no-cross] [--stats]\n"
+          "               [--pvars-doc FILE] [--changed-list FILE] "
+          "[--prune-baseline]\n"
+          "               [FILE]...\n");
       return 0;
     } else {
       files.push_back(arg);
@@ -122,6 +143,29 @@ int main(int argc, char** argv) {
   options.cache_dir = cache_dir;
   options.jobs = jobs;
   options.roots = roots;
+  if (!changed_list_path.empty()) {
+    std::string text;
+    if (!read_text(changed_list_path, text)) {
+      std::fprintf(stderr, "symlint: cannot read changed list %s\n",
+                   changed_list_path.c_str());
+      return 2;
+    }
+    if (cache_dir.empty()) {
+      std::fprintf(stderr,
+                   "symlint: --changed-list needs --cache-dir (diff mode "
+                   "serves unchanged files from the warm cache)\n");
+      return 2;
+    }
+    options.diff_mode = true;
+    std::istringstream lines(text);
+    std::string ln;
+    while (std::getline(lines, ln)) {
+      while (!ln.empty() && (ln.back() == '\r' || ln.back() == ' ')) {
+        ln.pop_back();
+      }
+      if (!ln.empty()) options.changed.push_back(ln);
+    }
+  }
   symlint::IndexStats stats;
   const std::vector<symlint::TuIndex> tus =
       symlint::run_index(files, options, &stats);
@@ -135,10 +179,23 @@ int main(int argc, char** argv) {
     for (auto& f : symlint::analyze_project(tus)) {
       findings.push_back(std::move(f));
     }
+    if (!pvars_doc_path.empty()) {
+      std::string doc;
+      if (!read_text(pvars_doc_path, doc)) {
+        std::fprintf(stderr, "symlint: cannot read pvars doc %s\n",
+                     pvars_doc_path.c_str());
+        return 2;
+      }
+      for (auto& f :
+           symlint::check_pvar_contract(tus, doc, pvars_doc_path)) {
+        findings.push_back(std::move(f));
+      }
+    }
   }
   symlint::sort_findings(findings);
 
   std::size_t baselined = 0;
+  symlint::Baseline baseline;
   std::vector<const symlint::BaselineEntry*> unused;
   if (!baseline_path.empty()) {
     std::string text;
@@ -147,7 +204,6 @@ int main(int argc, char** argv) {
                    baseline_path.c_str());
       return 2;
     }
-    symlint::Baseline baseline;
     std::string err;
     if (!symlint::load_baseline(text, baseline, err)) {
       std::fprintf(stderr, "symlint: %s\n", err.c_str());
@@ -166,20 +222,44 @@ int main(int argc, char** argv) {
   }
 
   for (const auto& f : findings) std::printf("%s\n", f.format().c_str());
+  bool stale = false;
   for (const auto* entry : unused) {
     std::printf(
-        "symlint: stale baseline entry (matched nothing): rule=%s file=%s\n",
-        entry->rule.c_str(), entry->file.c_str());
+        "symlint: stale baseline entry (matched nothing): rule=%s file=%s "
+        "key=%s\n",
+        entry->rule.c_str(), entry->file.c_str(), entry->key.c_str());
+    stale = true;
+  }
+  if (stale && prune_baseline) {
+    std::set<const symlint::BaselineEntry*> drop(unused.begin(),
+                                                 unused.end());
+    symlint::Baseline pruned;
+    pruned.comment = baseline.comment;
+    for (const auto& e : baseline.entries) {
+      if (drop.count(&e) == 0) pruned.entries.push_back(e);
+    }
+    std::ofstream out(baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "symlint: cannot rewrite baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    out << symlint::serialize_baseline(pruned);
+    std::printf("symlint: pruned %zu stale baseline entr%s from %s\n",
+                unused.size(), unused.size() == 1 ? "y" : "ies",
+                baseline_path.c_str());
+    stale = false;
   }
   if (stats_wanted) {
     std::printf("symlint: index: %zu files, %zu cached, %zu reindexed\n",
                 stats.files, stats.cache_hits, stats.reindexed);
   }
 
-  if (!findings.empty()) {
+  if (!findings.empty() || stale) {
     std::printf("symlint: %zu finding(s) in %zu file(s) scanned",
                 findings.size(), files.size());
     if (baselined != 0) std::printf(" (%zu baselined)", baselined);
+    if (stale) std::printf(" (stale baseline entries fail the gate)");
     std::printf("\n");
     return 1;
   }

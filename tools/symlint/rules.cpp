@@ -581,7 +581,337 @@ class Taint {
   std::set<std::pair<std::size_t, std::size_t>> in_progress_;
 };
 
+// ---------------------------------------------------------------------------
+// B1/B2: may-block / may-allocate hot-path cost
+// ---------------------------------------------------------------------------
+
+/// Two faces of one analysis over the same seed sets:
+///
+///   direct  Any blocking/allocating leaf site inside a hot-path *file*
+///           (tables::kHotPathFiles — the per-event lane/window/engine/
+///           fiber machinery) is reported at the seed line. This subsumes
+///           the retired per-TU D3 allocation face and, unlike call-graph
+///           reachability, also catches seeds only reachable through
+///           type-erased dispatch (SmallFn::emplace's heap spill).
+///
+///   reach   A named hot-path *root* (tables::kHotPathRoots — lane pumps,
+///           window workers, fiber trampolines, argolite dispatch, loadgen
+///           pumps, blockcache service ULTs) BFS-reaches a seeded function
+///           through name-resolved calls or &function references. The
+///           finding carries the full witness chain with a file:line at
+///           every hop plus the seed site. Seeds inside hot-path files are
+///           skipped here (already direct-reported); one finding per
+///           (root, attribute), shortest chain wins (BFS order).
+class HotPathCost {
+ public:
+  explicit HotPathCost(const Project& p) : p_(p) {}
+
+  std::vector<Finding> run() {
+    std::vector<Finding> out;
+    direct(out);
+    reach(out);
+    return out;
+  }
+
+ private:
+  static bool hot_file(const std::string& rel) {
+    for (const char* const entry : tables::kHotPathFiles) {
+      const std::string_view sv(entry);
+      if (rel.size() < sv.size()) continue;
+      if (rel.compare(rel.size() - sv.size(), sv.size(), sv) != 0) continue;
+      if (rel.size() == sv.size() || rel[rel.size() - sv.size() - 1] == '/') {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void direct(std::vector<Finding>& out) {
+    const auto& tus = p_.tus();
+    for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+      const TuIndex& tu = tus[ti];
+      const std::string rel = repo_rel(tu.norm);
+      if (!hot_file(rel)) continue;
+      for (const auto& f : tu.functions) {
+        emit_direct(tu, rel, f, f.blocking, true, out);
+        emit_direct(tu, rel, f, f.allocating, false, out);
+      }
+    }
+  }
+
+  void emit_direct(const TuIndex& tu, const std::string& rel,
+                   const FunctionInfo& f, const std::vector<SourceCall>& seeds,
+                   bool block, std::vector<Finding>& out) {
+    const char* const rule_name = block ? "may-block" : "may-allocate";
+    for (const auto& s : seeds) {
+      if (allowed(tu, s.line, rule_name)) continue;
+      std::ostringstream msg;
+      if (block) {
+        msg << "blocking call '" << s.primitive << "' in '" << f.name
+            << "' on hot-path file " << rel << ": lane-/fiber-executed code"
+            << " must not block the OS thread. Annotate allow(may-block)"
+            << " with a reason if intentional.";
+      } else {
+        msg << "allocating call '" << s.primitive << "' in '" << f.name
+            << "' on hot-path file " << rel << ": per-event work must stay"
+            << " allocation-free (lane arena, preallocated rings). Annotate"
+            << " allow(may-allocate) with a reason if intentional.";
+      }
+      Finding fd;
+      fd.rule = block ? Rule::kMayBlock : Rule::kMayAlloc;
+      fd.file = tu.path;
+      fd.line = s.line;
+      fd.message = msg.str();
+      fd.key = std::string(block ? "block:" : "alloc:") + rel + ":" +
+               unqualified(f.name) + ":" + s.primitive;
+      out.push_back(std::move(fd));
+    }
+  }
+
+  void reach(std::vector<Finding>& out) {
+    const auto& tus = p_.tus();
+    for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+      const std::string rel = repo_rel(tus[ti].norm);
+      for (const auto& root : tables::kHotPathRoots) {
+        if (rel.find(root.path_frag) == std::string::npos) continue;
+        for (std::size_t fi = 0; fi < tus[ti].functions.size(); ++fi) {
+          if (tus[ti].functions[fi].name != root.fn) continue;
+          reach_from({ti, fi}, rel, out);
+        }
+      }
+    }
+  }
+
+  struct Hop {
+    FnRef fn;
+    std::string chain;  ///< rendered "Root -> callee [rel:line] -> ..."
+    std::size_t depth = 0;
+  };
+
+  void reach_from(FnRef root, const std::string& root_rel,
+                  std::vector<Finding>& out) {
+    const auto& tus = p_.tus();
+    const FunctionInfo& root_fn = p_.fn(root);
+    bool found_block = false;
+    bool found_alloc = false;
+
+    std::set<std::pair<std::size_t, std::size_t>> visited;
+    std::vector<Hop> frontier{{root, root_fn.name, 0}};
+    visited.insert({root.tu, root.fn});
+
+    while (!frontier.empty() && !(found_block && found_alloc)) {
+      std::vector<Hop> next_frontier;
+      for (const auto& hop : frontier) {
+        const TuIndex& tu = tus[hop.fn.tu];
+        const FunctionInfo& f = p_.fn(hop.fn);
+        const std::string rel = repo_rel(tu.norm);
+        // Seeds inside hot-path files are reported by the direct face.
+        if (!hot_file(rel)) {
+          if (!found_block && !f.blocking.empty()) {
+            found_block = try_emit(root, root_rel, hop, tu, rel,
+                                   f.blocking.front(), true, out);
+          }
+          if (!found_alloc && !f.allocating.empty()) {
+            found_alloc = try_emit(root, root_rel, hop, tu, rel,
+                                   f.allocating.front(), false, out);
+          }
+          if (found_block && found_alloc) return;
+        }
+        if (hop.depth >= 8) continue;  // witness depth cap
+        auto push = [&](const std::string& name, int line, bool is_ref) {
+          const auto* cands = p_.candidates(name);
+          if (cands == nullptr) return;
+          for (const auto& cand : *cands) {
+            if (!visited.insert({cand.tu, cand.fn}).second) continue;
+            std::ostringstream step;
+            step << hop.chain << " -> " << (is_ref ? "&" : "")
+                 << p_.fn(cand).name << " [" << rel << ":" << line << "]";
+            next_frontier.push_back({cand, step.str(), hop.depth + 1});
+          }
+        };
+        for (const auto& c : f.calls) push(c.callee, c.line, false);
+        for (const auto& r : f.fn_refs) push(r.name, r.line, true);
+      }
+      frontier = std::move(next_frontier);
+    }
+  }
+
+  bool try_emit(FnRef root, const std::string& root_rel, const Hop& hop,
+                const TuIndex& seed_tu, const std::string& seed_rel,
+                const SourceCall& seed, bool block, std::vector<Finding>& out) {
+    const FunctionInfo& root_fn = p_.fn(root);
+    const TuIndex& root_tu = p_.tus()[root.tu];
+    const char* const rule_name = block ? "may-block" : "may-allocate";
+    if (allowed(root_tu, root_fn.line, rule_name)) return true;
+    if (allowed(seed_tu, seed.line, rule_name)) return true;
+
+    std::ostringstream msg;
+    msg << "hot-path root '" << root_fn.name << "' (" << root_rel << ":"
+        << root_fn.line << ") may " << (block ? "block" : "allocate") << ": "
+        << hop.chain << "; " << (block ? "blocking" : "allocating")
+        << " site '" << seed.primitive << "' at " << seed_rel << ":"
+        << seed.line << ". "
+        << (block ? "Hand blocking work to a coordinator thread"
+                  : "Hoist the allocation out of the per-event path")
+        << " or annotate allow(" << rule_name
+        << ") with a reason at the root or the site.";
+
+    Finding fd;
+    fd.rule = block ? Rule::kMayBlock : Rule::kMayAlloc;
+    fd.file = root_tu.path;
+    fd.line = root_fn.line;
+    fd.message = msg.str();
+    fd.key = std::string(block ? "block:" : "alloc:") + root_rel + ":" +
+             root_fn.name;
+    out.push_back(std::move(fd));
+    return true;
+  }
+
+  const Project& p_;
+};
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// P1: PVAR / action-span contract
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DocName {
+  int line = 0;
+};
+
+/// Parse docs/PVARS.md: '|'-delimited table rows, first cell only, every
+/// backticked name in the cell (shared rows document two counters). Cells
+/// containing '<' are pattern rows (`bc_t<k>_...`) and never match literal
+/// registrations — skipped. Section routing by "## " headings: a heading
+/// containing "Action span" collects into the span set, everything else
+/// into the PVAR set.
+void parse_pvars_doc(std::string_view doc, std::map<std::string, DocName>& pvars,
+                     std::map<std::string, DocName>& spans) {
+  bool in_spans = false;
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= doc.size()) {
+    auto eol = doc.find('\n', pos);
+    if (eol == std::string_view::npos) eol = doc.size();
+    const std::string_view ln = doc.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+
+    if (ln.substr(0, 3) == "## ") {
+      in_spans = ln.find("Action span") != std::string_view::npos;
+      continue;
+    }
+    std::size_t bar = ln.find('|');
+    if (bar == std::string_view::npos) continue;
+    const auto close = ln.find('|', bar + 1);
+    if (close == std::string_view::npos) continue;
+    const std::string_view cell = ln.substr(bar + 1, close - bar - 1);
+    if (cell.find('<') != std::string_view::npos) continue;  // pattern row
+    auto& into = in_spans ? spans : pvars;
+    std::size_t tick = 0;
+    while ((tick = cell.find('`', tick)) != std::string_view::npos) {
+      const auto end = cell.find('`', tick + 1);
+      if (end == std::string_view::npos) break;
+      const std::string name(cell.substr(tick + 1, end - tick - 1));
+      if (!name.empty()) into.emplace(name, DocName{line_no});
+      tick = end + 1;
+    }
+  }
+}
+
+struct RegSite {
+  std::size_t tu = 0;
+  int line = 0;
+};
+
+}  // namespace
+
+std::vector<Finding> check_pvar_contract(const std::vector<TuIndex>& tus,
+                                         std::string_view doc_text,
+                                         const std::string& doc_path) {
+  std::map<std::string, DocName> doc_pvars;
+  std::map<std::string, DocName> doc_spans;
+  parse_pvars_doc(doc_text, doc_pvars, doc_spans);
+
+  // Code-side registrations: literal names only, src/ TUs only (tests and
+  // benches register throwaway PVARs). Dynamic spans ("policy:" + name)
+  // expand against the literal policy-rule names registered under src/.
+  std::map<std::string, RegSite> code_pvars;
+  std::map<std::string, RegSite> code_spans;
+  std::vector<std::string> rule_names;
+  auto in_src = [](const TuIndex& tu) {
+    return tu.norm.find("src/") != std::string::npos;
+  };
+  for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+    if (!in_src(tus[ti])) continue;
+    for (const auto& r : tus[ti].rule_regs) {
+      if (!r.dynamic) rule_names.push_back(r.name);
+    }
+  }
+  for (std::size_t ti = 0; ti < tus.size(); ++ti) {
+    if (!in_src(tus[ti])) continue;
+    for (const auto& r : tus[ti].pvar_regs) {
+      if (!r.dynamic) code_pvars.emplace(r.name, RegSite{ti, r.line});
+    }
+    for (const auto& r : tus[ti].span_regs) {
+      if (r.dynamic) {
+        for (const auto& rule : rule_names) {
+          code_spans.emplace(r.name + rule, RegSite{ti, r.line});
+        }
+      } else {
+        code_spans.emplace(r.name, RegSite{ti, r.line});
+      }
+    }
+  }
+
+  std::vector<Finding> out;
+  auto code_side = [&](const std::map<std::string, RegSite>& code,
+                       const std::map<std::string, DocName>& doc,
+                       const char* kind, const char* what) {
+    for (const auto& [name, site] : code) {
+      if (doc.count(name) != 0) continue;
+      const TuIndex& tu = tus[site.tu];
+      if (allowed(tu, site.line, "pvar-contract")) continue;
+      Finding f;
+      f.rule = Rule::kPvarContract;
+      f.file = tu.path;
+      f.line = site.line;
+      f.message = std::string(what) + " '" + name + "' is registered at " +
+                  repo_rel(tu.norm) + ":" + std::to_string(site.line) +
+                  " but not documented in " + doc_path +
+                  " — add a row (or annotate allow(pvar-contract) with a"
+                  " reason).";
+      f.key = std::string(kind) + ":undocumented:" + name;
+      out.push_back(std::move(f));
+    }
+  };
+  auto doc_side = [&](const std::map<std::string, DocName>& doc,
+                      const std::map<std::string, RegSite>& code,
+                      const char* kind, const char* what) {
+    for (const auto& [name, dn] : doc) {
+      if (code.count(name) != 0) continue;
+      Finding f;
+      f.rule = Rule::kPvarContract;
+      f.file = doc_path;
+      f.line = dn.line;
+      f.message = std::string(what) + " '" + name + "' is documented in " +
+                  doc_path + ":" + std::to_string(dn.line) +
+                  " but never registered in src/ — stale doc row or a"
+                  " registration that was removed.";
+      f.key = std::string(kind) + ":unregistered:" + name;
+      out.push_back(std::move(f));
+    }
+  };
+  code_side(code_pvars, doc_pvars, "pvar", "PVAR");
+  code_side(code_spans, doc_spans, "span", "action span");
+  doc_side(doc_pvars, code_pvars, "pvar", "PVAR");
+  doc_side(doc_spans, code_spans, "span", "action span");
+  sort_findings(out);
+  return out;
+}
 
 std::vector<Finding> analyze_project(const std::vector<TuIndex>& tus) {
   const Project project(tus);
@@ -589,6 +919,7 @@ std::vector<Finding> analyze_project(const std::vector<TuIndex>& tus) {
   for (auto& f : LockOrder(project).run()) out.push_back(std::move(f));
   for (auto& f : SharedEscape(project).run()) out.push_back(std::move(f));
   for (auto& f : Taint(project).run()) out.push_back(std::move(f));
+  for (auto& f : HotPathCost(project).run()) out.push_back(std::move(f));
   sort_findings(out);
   // A sink can be matched through both an argument call and a local; the
   // semantic key dedupes.

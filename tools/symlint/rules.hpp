@@ -26,6 +26,20 @@
 //                          D1 at the source but does NOT stop taint
 //                          propagation — that is the point of T1;
 //                          allow(determinism-taint) at the sink does.
+//   B1 may-block           A blocking leaf (std::mutex lock, condition
+//   B2 may-allocate        variable, sleep/blocking syscall) or allocating
+//                          leaf (raw new / malloc family, std::make_unique/
+//                          make_shared, std::function heap spill) either
+//                          sits directly in a hot-path file or is reached
+//                          from a named lane-/fiber-executed root through
+//                          name-resolved calls and &function references.
+//                          Reach findings carry the full witness chain with
+//                          file:line at every hop. Subsumes the retired
+//                          per-TU D3 allocation face.
+//   P1 pvar-contract       Code-registered PVAR names and action-span names
+//                          (run separately, needs the doc text) must match
+//                          docs/PVARS.md exactly; drift in either direction
+//                          is a finding.
 //
 // Mutex identity: member mutexes are qualified by their owning class
 // ("Backend::write_lock_") so same-named members of unrelated classes never
@@ -41,9 +55,18 @@
 
 namespace symlint {
 
-/// Run L1/E1/T1 over the indexed project. `tus` must be in deterministic
-/// (sorted-path) order; findings come out sorted and carry semantic keys.
+/// Run L1/E1/T1/B1/B2 over the indexed project. `tus` must be in
+/// deterministic (sorted-path) order; findings come out sorted and carry
+/// semantic keys.
 [[nodiscard]] std::vector<Finding> analyze_project(
     const std::vector<TuIndex>& tus);
+
+/// P1: diff code-registered PVAR / action-span names (literal registrations
+/// in src/ TUs, dynamic "prefix:" spans expanded against registered policy
+/// rules) against the catalogue tables in `doc_text` (docs/PVARS.md).
+/// `doc_path` is what doc-side findings report as their file.
+[[nodiscard]] std::vector<Finding> check_pvar_contract(
+    const std::vector<TuIndex>& tus, std::string_view doc_text,
+    const std::string& doc_path);
 
 }  // namespace symlint

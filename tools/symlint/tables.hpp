@@ -39,6 +39,63 @@ inline const std::set<std::string_view> kD3CallIdents = {
     "flock",
 };
 
+// B2: libc allocators — allocating when *called* as free functions.
+inline const std::set<std::string_view> kAllocCallIdents = {
+    "malloc", "calloc", "realloc", "aligned_alloc", "posix_memalign",
+    "strdup",
+};
+// B2: std:: entities that heap-allocate on construction or call.
+// std::function is here for its capture spill; the project's SmallFn is the
+// sanctioned inline-storage replacement.
+inline const std::set<std::string_view> kAllocStdIdents = {
+    "make_unique", "make_shared", "function",
+};
+
+// B1/B2: the lane-executed hot-path files. Every function defined in one of
+// these is presumed lane-executed, so a blocking/allocating seed inside them
+// is reported directly (no call chain needed) — this subsumes the retired
+// per-TU D3 "alloc face".
+inline const char* const kHotPathFiles[] = {
+    "simkit/lane.hpp",   "simkit/lane.cpp",    "simkit/window.hpp",
+    "simkit/window.cpp", "simkit/engine.hpp",  "simkit/engine.cpp",
+    "simkit/arena.hpp",  "simkit/smallfn.hpp", "simkit/dheap.hpp",
+};
+
+// B1/B2 reachability roots: the named lane-/fiber-/ULT-executed entry
+// points (the dispatch loops and pumps the E1 BFS also starts from, but
+// pinned to functions so the coordinator's *own* sanctioned thread plumbing
+// — spawn/join in ctor/dtor — is not a root). A root matches when the TU's
+// repo-relative path contains `path_frag` and the function's qualified name
+// equals `fn`.
+struct HotRoot {
+  std::string_view path_frag;
+  std::string_view fn;
+};
+inline const HotRoot kHotPathRoots[] = {
+    {"simkit/lane.", "Lane::pop_and_run"},
+    {"simkit/lane.", "Lane::run_window"},
+    {"simkit/lane.", "Lane::post_remote"},
+    {"simkit/lane.", "Lane::absorb_outbox_from"},
+    {"simkit/lane.", "Lane::peek_next"},
+    {"simkit/window.", "WindowCoordinator::worker_main"},
+    {"simkit/window.", "WindowCoordinator::run_lanes_of"},
+    {"simkit/window.", "WindowCoordinator::execute_window"},
+    {"simkit/window.", "WindowCoordinator::merge"},
+    {"simkit/engine.", "Engine::run_windows"},
+    {"simkit/engine.", "Engine::run_classic"},
+    {"simkit/engine.", "Engine::run_until_classic"},
+    {"simkit/fiber.", "Fiber::trampoline"},
+    {"simkit/fiber.", "Fiber::fast_trampoline"},
+    {"simkit/fiber.", "Fiber::run_entry"},
+    {"argolite/", "Xstream::try_dispatch"},
+    {"argolite/", "Xstream::dispatch_one"},
+    {"argolite/", "Xstream::run_ult"},
+    {"workloads/loadgen", "LoadgenWorld::pump_tick"},
+    {"workloads/loadgen", "LoadgenWorld::emit_arrival"},
+    {"services/blockcache", "Provider::dispatch_loop"},
+    {"services/blockcache", "Provider::flusher_loop"},
+};
+
 // D4: Lane types and Lane-only member functions.
 inline const std::set<std::string_view> kD4TypeIdents = {"Lane",
                                                          "ActiveLaneScope",
